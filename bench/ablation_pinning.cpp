@@ -1,0 +1,97 @@
+// Ablation — pinning strategies (Sec. 3.1 and thesis [10]):
+// the paper presents a greedy "pin everything" strategy and reports that
+// a "more elaborate technique" handling per-handle and total-pinned
+// limits obtains similar results. This ablation compares both:
+//   1. GET improvement across sizes under greedy vs chunked pinning;
+//   2. how each strategy behaves against the LAPI 32 MB-per-handle limit.
+#include <cstdio>
+
+#include "benchsupport/microbench.h"
+#include "benchsupport/table.h"
+#include "core/runtime.h"
+
+using namespace xlupc;
+using bench::fmt;
+using core::UpcThread;
+using sim::Task;
+
+namespace {
+
+double improvement(const net::PlatformParams& platform,
+                   mem::PinStrategy strategy, std::size_t size) {
+  auto measure = [&](bool cache) {
+    core::RuntimeConfig cfg;
+    cfg.platform = platform;
+    cfg.cache.enabled = cache;
+    cfg.pin_strategy = strategy;
+    return bench::measure_op(std::move(cfg), bench::Op::kGet, {size, 4, 12})
+        .mean_us;
+  };
+  const double z = measure(false);
+  const double w = measure(true);
+  return 100.0 * (z - w) / z;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: greedy pin-everything vs chunked pinning ([10])\n\n");
+  {
+    bench::Table table({"size (B)", "GM greedy %", "GM chunked %",
+                        "LAPI greedy %", "LAPI chunked %"});
+    const auto gm = net::mare_nostrum_gm();
+    const auto lapi = net::power5_lapi();
+    for (std::size_t size : {8ul, 1024ul, 8192ul, 262144ul}) {
+      table.row(
+          {std::to_string(size),
+           fmt(improvement(gm, mem::PinStrategy::kGreedy, size), 1),
+           fmt(improvement(gm, mem::PinStrategy::kChunked, size), 1),
+           fmt(improvement(lapi, mem::PinStrategy::kGreedy, size), 1),
+           fmt(improvement(lapi, mem::PinStrategy::kChunked, size), 1)});
+    }
+    table.print();
+  }
+
+  // Registration-handle accounting for a 96 MB object on the LAPI
+  // platform (32 MB per registration handle).
+  std::printf("\nLAPI 32MB-per-handle limit, 96 MB shared object:\n\n");
+  {
+    bench::Table table({"strategy", "pin calls", "handles", "pinned MB"});
+    for (auto strategy :
+         {mem::PinStrategy::kGreedy, mem::PinStrategy::kChunked}) {
+      core::RuntimeConfig cfg;
+      cfg.platform = net::power5_lapi();
+      cfg.nodes = 2;
+      cfg.threads_per_node = 1;
+      cfg.pin_strategy = strategy;
+      core::Runtime rt(std::move(cfg));
+      rt.run([&](UpcThread& th) -> Task<void> {
+        constexpr std::uint64_t kHalf = 48ull << 20;
+        auto a = co_await th.all_alloc(2 * kHalf, 1, kHalf);
+        co_await th.barrier();
+        if (th.id() == 0) {
+          // Touch several spots of the remote half so the target pins.
+          std::vector<std::byte> buf(64);
+          for (int i = 0; i < 12; ++i) {
+            co_await th.get(a, kHalf + (static_cast<std::uint64_t>(i) << 22),
+                            buf);
+          }
+        }
+        co_await th.barrier();
+      });
+      const auto& pinned = rt.pinned(1);
+      table.row({strategy == mem::PinStrategy::kGreedy ? "greedy" : "chunked",
+                 std::to_string(pinned.total_pin_calls()),
+                 std::to_string(pinned.handle_count()),
+                 fmt(static_cast<double>(pinned.pinned_bytes()) / (1 << 20),
+                     1)});
+    }
+    table.print();
+  }
+  std::printf(
+      "\npaper reference: the elaborated (chunked) technique obtains\n"
+      "similar results to pin-everything while honouring the limits the\n"
+      "greedy strategy ignores.\n");
+  return 0;
+}

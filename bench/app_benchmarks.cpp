@@ -1,0 +1,145 @@
+// The paper's future work, implemented: "measure the benefits of the
+// address cache on applications as opposed to benchmarks" (Sec. 6).
+//
+// Three miniature applications with very different communication
+// characters run with and without the cache on both platforms:
+//  * stencil  — 2-D Jacobi heat step on a multi-blocked grid: static
+//               neighbour pattern, tiny cache working set (like
+//               Neighborhood);
+//  * spmv     — sparse matrix-vector product: a fixed but scattered
+//               gather set that repeats every iteration;
+//  * gups     — random read-modify-write updates: the unpredictable
+//               pattern whose cache grows with the machine (like
+//               Pointer/Update).
+#include <cstdio>
+#include <vector>
+
+#include "benchsupport/table.h"
+#include "core/forall.h"
+#include "core/runtime.h"
+#include "core/shared_array.h"
+
+using namespace xlupc;
+using bench::fmt;
+using core::UpcThread;
+using sim::Task;
+
+namespace {
+
+core::RuntimeConfig make_config(net::TransportKind kind, bool cache) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::preset(kind);
+  cfg.nodes = 4;
+  cfg.threads_per_node = 4;
+  cfg.cache.enabled = cache;
+  return cfg;
+}
+
+double run_stencil(net::TransportKind kind, bool cache) {
+  core::Runtime rt(make_config(kind, cache));
+  sim::Time t0 = 0, t1 = 0;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto grid =
+        co_await core::SharedArray2D<double>::all_alloc(th, 64, 64, 16, 16);
+    auto next =
+        co_await core::SharedArray2D<double>::all_alloc(th, 64, 64, 16, 16);
+    co_await th.barrier();
+    if (th.id() == 0) t0 = th.now();
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      for (std::uint64_t r = 1; r < 63; ++r) {
+        for (std::uint64_t c = 1; c < 63; ++c) {
+          if (grid.threadof(r, c) != th.id()) continue;
+          const double v = 0.25 * (co_await grid.read(th, r - 1, c) +
+                                   co_await grid.read(th, r + 1, c) +
+                                   co_await grid.read(th, r, c - 1) +
+                                   co_await grid.read(th, r, c + 1));
+          co_await next.write(th, r, c, v);
+        }
+      }
+      co_await th.barrier();
+      std::swap(grid, next);
+      co_await th.barrier();
+    }
+    if (th.id() == 0) t1 = th.now();
+  });
+  return sim::to_us(t1 - t0);
+}
+
+double run_spmv(net::TransportKind kind, bool cache) {
+  core::Runtime rt(make_config(kind, cache));
+  constexpr std::uint64_t kN = 1024;
+  sim::Time t0 = 0, t1 = 0;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto x = co_await core::SharedArray<double>::all_alloc(th, kN);
+    auto y = co_await core::SharedArray<double>::all_alloc(th, kN);
+    co_await th.barrier();
+    if (th.id() == 0) t0 = th.now();
+    for (int it = 0; it < 2; ++it) {
+      co_await core::forall(th, y.desc(), [&](std::uint64_t r) -> Task<void> {
+        sim::Rng row_rng(r);  // fixed sparsity pattern per row
+        double acc = 2.0 * co_await x.read(th, r);
+        for (int k = 0; k < 3; ++k) {
+          acc -= 0.3 * co_await x.read(th, row_rng.below(kN));
+        }
+        co_await y.write(th, r, acc);
+      });
+      co_await th.barrier();
+      std::swap(x, y);
+      co_await th.barrier();
+    }
+    if (th.id() == 0) t1 = th.now();
+  });
+  return sim::to_us(t1 - t0);
+}
+
+double run_gups(net::TransportKind kind, bool cache) {
+  core::Runtime rt(make_config(kind, cache));
+  constexpr std::uint64_t kN = 8192;
+  sim::Time t0 = 0, t1 = 0;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto table = co_await core::SharedArray<std::uint64_t>::all_alloc(th, kN);
+    co_await th.barrier();
+    if (th.id() == 0) t0 = th.now();
+    for (int u = 0; u < 48; ++u) {
+      const std::uint64_t idx = th.rng().below(kN);
+      const auto v = co_await table.read(th, idx);
+      co_await table.write(th, idx, v ^ (idx * 0x2545f4914f6cdd1dull));
+    }
+    co_await th.barrier();
+    if (th.id() == 0) t1 = th.now();
+  });
+  return sim::to_us(t1 - t0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Application-level evaluation (the paper's Sec. 6 future work):\n"
+      "address-cache benefit on three mini-apps, 16 threads / 4 nodes\n\n");
+  bench::Table table({"app", "platform", "no-cache (us)", "cached (us)",
+                      "improvement %"});
+  struct App {
+    const char* name;
+    double (*fn)(net::TransportKind, bool);
+  };
+  const App apps[] = {{"stencil", run_stencil},
+                      {"spmv", run_spmv},
+                      {"gups", run_gups}};
+  for (const App& app : apps) {
+    for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
+      const double z = app.fn(kind, false);
+      const double w = app.fn(kind, true);
+      table.row({app.name,
+                 kind == net::TransportKind::kGm ? "GM" : "LAPI",
+                 fmt(z, 1), fmt(w, 1), fmt(100.0 * (z - w) / z, 1)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nexpectation: static-pattern apps (stencil, spmv) keep near-\n"
+      "microbenchmark gains because their few cache entries never evict;\n"
+      "gups sits lower, like Pointer, because every access is a surprise\n"
+      "(yet the piggybacked population still covers the node set).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 8 — "Address Cache Size Evaluation using DIS Stressmark Suite":
+// hit rate of the remote address cache for cache limits of 4, 10 and 100
+// entries as the machine scales (threads-nodes pairs on the X axis),
+// observed on a representative node.
+//
+//  (a) Pointer: unpredictable accesses across the whole shared space —
+//      entries grow with node count, hit rate degrades once the node
+//      count passes the cache size (knee at #nodes ~ cache entries).
+//  (b) Neighborhood: a well-defined communication pattern — only a couple
+//      of entries are ever needed and the hit rate stays flat.
+#include <cstdio>
+#include <vector>
+
+#include "benchsupport/table.h"
+#include "dis/neighborhood.h"
+#include "dis/pointer.h"
+
+using namespace xlupc;
+using bench::fmt;
+
+namespace {
+
+struct Scale {
+  std::uint32_t threads;
+  std::uint32_t nodes;
+};
+
+core::RuntimeConfig config(const Scale& s, std::size_t cache_entries) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.nodes = s.nodes;
+  cfg.threads_per_node = s.threads / s.nodes;
+  cfg.cache.max_entries = cache_entries;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  // The paper's hybrid-GM scales: 8-2 ... 2048-512 (4 threads per node).
+  const std::vector<Scale> scales = {{8, 2},     {16, 4},   {32, 8},
+                                     {64, 16},   {128, 32}, {256, 64},
+                                     {512, 128}, {1024, 256}, {2048, 512}};
+  const std::vector<std::size_t> cache_sizes = {4, 10, 100};
+
+  std::printf("Figure 8a: Pointer hit rate vs cache size (observed node 0)\n\n");
+  {
+    bench::Table table({"threads-nodes", "4 entries", "10 entries",
+                        "100 entries"});
+    for (const Scale& s : scales) {
+      std::vector<std::string> row{std::to_string(s.threads) + "-" +
+                                   std::to_string(s.nodes)};
+      for (std::size_t cs : cache_sizes) {
+        dis::PointerParams p;
+        p.hops = 48;
+        const auto r = dis::run_pointer(config(s, cs), p);
+        row.push_back(fmt(r.cache.hit_rate(), 3));
+      }
+      table.row(std::move(row));
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\nFigure 8b: Neighborhood hit rate vs cache size (observed node 0)\n\n");
+  {
+    bench::Table table({"threads-nodes", "4 entries", "10 entries",
+                        "100 entries"});
+    for (const Scale& s : scales) {
+      std::vector<std::string> row{std::to_string(s.threads) + "-" +
+                                   std::to_string(s.nodes)};
+      for (std::size_t cs : cache_sizes) {
+        dis::NeighborhoodParams p;
+        p.samples_per_thread = 32;
+        const auto r = dis::run_neighborhood(config(s, cs), p);
+        row.push_back(fmt(r.cache.hit_rate(), 3));
+      }
+      table.row(std::move(row));
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\npaper reference: Pointer degrades with node count (knee where\n"
+      "#nodes ~ cache entries); Neighborhood stays flat and high for every\n"
+      "cache size.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Sec. 4.5 claims — cache/pinned-table sizing census across the DIS
+// subset: "Most UPC applications declare a relatively small number of
+// shared variables and have static and well defined communication
+// patterns that result in insignificantly small caches even on large
+// machines. ... a [pinned address] table of 10 entries is more than
+// enough for well defined UPC applications."
+#include <cstdio>
+
+#include "benchsupport/table.h"
+#include "dis/field.h"
+#include "dis/neighborhood.h"
+#include "dis/pointer.h"
+#include "dis/update.h"
+
+using namespace xlupc;
+using bench::fmt;
+
+namespace {
+
+core::RuntimeConfig config(std::uint32_t nodes, std::uint32_t tpn) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.nodes = nodes;
+  cfg.threads_per_node = tpn;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Cache & pinned-table census on the DIS subset, 32 nodes x 4 threads\n"
+      "(Sec. 4.5)\n\n");
+  bench::Table table({"stressmark", "cache entries", "hit rate",
+                      "pattern class"});
+
+  {
+    dis::PointerParams p;
+    p.hops = 48;
+    p.warm_cache = false;  // observe workload-driven population
+    const auto r = dis::run_pointer(config(32, 4), p);
+    table.row({"Pointer", std::to_string(r.cache_entries),
+               fmt(r.cache.hit_rate(), 3), "unpredictable (grows w/ nodes)"});
+  }
+  {
+    dis::UpdateParams p;
+    p.hops = 48;
+    p.warm_cache = false;
+    const auto r = dis::run_update(config(32, 4), p);
+    table.row({"Update", std::to_string(r.cache_entries),
+               fmt(r.cache.hit_rate(), 3), "unpredictable (grows w/ nodes)"});
+  }
+  {
+    dis::NeighborhoodParams p;
+    p.samples_per_thread = 32;
+    p.warm_cache = false;
+    const auto r = dis::run_neighborhood(config(32, 4), p);
+    table.row({"Neighborhood", std::to_string(r.cache_entries),
+               fmt(r.cache.hit_rate(), 3), "well-defined (constant)"});
+  }
+  {
+    dis::FieldParams p;
+    p.tokens = 3;
+    p.warm_cache = false;
+    const auto r = dis::run_field(config(32, 4), p);
+    table.row({"Field", std::to_string(r.cache_entries),
+               fmt(r.cache.hit_rate(), 3), "well-defined (constant)"});
+  }
+  table.print();
+  std::printf(
+      "\npaper reference: Field/Neighborhood need only a few entries with\n"
+      "flat hit rates; Pointer/Update grow with the node count. One shared\n"
+      "array per stressmark => a 10-entry pinned table suffices.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Sec. 4.6's Paraver analysis of the Field Stressmark, reproduced with
+// the built-in tracer: "The trace showed that the remote GET and PUT
+// access times at the 'overhangs' were abnormally large when address
+// cache was not in use. ... While a CPU is busy with the local portion of
+// its array the network does not make progress, and other CPUs requesting
+// data are forced into long waits."
+//
+// Two traced runs of Field on the GM platform (cache off / on) and, for
+// contrast, on LAPI where the dedicated communication processor keeps
+// progress independent of the application CPUs.
+#include <cstdio>
+#include <iostream>
+
+#include "benchsupport/table.h"
+#include "core/runtime.h"
+#include "core/trace.h"
+#include "dis/field.h"
+
+using namespace xlupc;
+using bench::fmt;
+
+namespace {
+
+struct PathStats {
+  double am_mean = 0.0, am_max = 0.0;
+  double rdma_mean = 0.0, rdma_max = 0.0;
+  std::uint64_t am_count = 0, rdma_count = 0;
+};
+
+// Run Field with tracing and aggregate the remote-GET access times.
+PathStats traced_field(net::TransportKind kind, bool cache) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::preset(kind);
+  cfg.nodes = 8;
+  cfg.threads_per_node = 4;
+  cfg.cache.enabled = cache;
+  cfg.trace = true;
+
+  // Re-create the Field access pattern inline so we own the Runtime (the
+  // dis:: wrapper hides its Runtime and thus the tracer); parameters
+  // match dis::FieldParams defaults.
+  dis::FieldParams fp;
+  fp.tokens = 3;
+  core::Runtime rt(cfg);
+  const std::uint64_t n = fp.bytes_per_thread * rt.threads();
+  rt.run([&](core::UpcThread& th) -> sim::Task<void> {
+    auto arr = co_await th.all_alloc(n, 1, fp.bytes_per_thread);
+    co_await th.barrier();
+    if (th.id() == 0) rt.warm_address_cache(arr);
+    co_await th.barrier();
+    const std::uint32_t threads = th.runtime().threads();
+    const ThreadId prev = (th.id() + threads - 1) % threads;
+    const ThreadId next = (th.id() + 1) % threads;
+    std::vector<std::byte> overhang(fp.token_len);
+    for (std::uint32_t tok = 0; tok < fp.tokens; ++tok) {
+      const double scan_us = static_cast<double>(fp.bytes_per_thread) /
+                             fp.scan_rate_bytes_per_us;
+      const std::uint32_t chunks = fp.overhang_reads;
+      double pending = scan_us / chunks * th.rng().uniform();
+      for (std::uint32_t o = 0; o < chunks; ++o) {
+        pending += scan_us / chunks *
+                   (1.0 - fp.skew / 2 + fp.skew * th.rng().uniform());
+        const bool pn = th.rng().chance(fp.overhang_prob);
+        const bool pp = th.rng().chance(fp.overhang_prob);
+        if (!pn && !pp && o + 1 < chunks) continue;
+        co_await th.compute(sim::us(pending));
+        pending = 0;
+        if (pn) {
+          co_await th.get(arr,
+                          (static_cast<std::uint64_t>(next) *
+                               fp.bytes_per_thread +
+                           o * fp.token_len) %
+                              n,
+                          overhang);
+        }
+        if (pp) {
+          co_await th.get(arr,
+                          (static_cast<std::uint64_t>(prev) *
+                               fp.bytes_per_thread +
+                           fp.bytes_per_thread - (o + 1) * fp.token_len) %
+                              n,
+                          overhang);
+        }
+      }
+      co_await th.barrier();
+    }
+  });
+
+  PathStats out;
+  const auto summary = rt.tracer().summarize();
+  if (const auto* am =
+          summary.find(core::TraceOp::kGet, core::TracePath::kAm)) {
+    out.am_mean = am->mean_us;
+    out.am_max = am->max_us;
+    out.am_count = am->count;
+  }
+  if (const auto* rdma =
+          summary.find(core::TraceOp::kGet, core::TracePath::kRdma)) {
+    out.rdma_mean = rdma->mean_us;
+    out.rdma_max = rdma->max_us;
+    out.rdma_count = rdma->count;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Field Stressmark overhang-access trace analysis (paper Sec. 4.6)\n"
+      "8 nodes x 4 threads; per-path remote GET times from the tracer\n\n");
+  bench::Table table({"platform", "cache", "path", "count", "mean us",
+                      "max us"});
+  for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
+    const char* name =
+        kind == net::TransportKind::kGm ? "GM" : "LAPI";
+    const auto off = traced_field(kind, false);
+    table.row({name, "off", "am", std::to_string(off.am_count),
+               fmt(off.am_mean, 2), fmt(off.am_max, 2)});
+    const auto on = traced_field(kind, true);
+    table.row({name, "on", "rdma", std::to_string(on.rdma_count),
+               fmt(on.rdma_mean, 2), fmt(on.rdma_max, 2)});
+  }
+  table.print();
+  std::printf(
+      "\npaper reference: without the cache the GM overhang GETs stall\n"
+      "behind the target's scan (abnormally large max times); with the\n"
+      "cache RDMA needs no remote-CPU cooperation and wait times collapse.\n"
+      "On LAPI the communication processor keeps even un-cached accesses\n"
+      "fast, so the cache changes little — matching Fig. 9's Field rows.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Network diagnostic tool: latency and effective-bandwidth curves of the
+// two simulated platforms, with and without the remote address cache —
+// the osu-microbenchmarks-style utility a downstream user would run first
+// to understand the machine model.
+#include <cstdio>
+#include <vector>
+
+#include "core/runtime.h"
+
+using namespace xlupc;
+using core::UpcThread;
+using sim::Task;
+
+namespace {
+
+struct Point {
+  double latency_us = 0.0;
+  double bandwidth_mbs = 0.0;  // effective MB/s of a 16-deep PUT burst
+};
+
+Point measure(const net::PlatformParams& platform, bool cache,
+              std::size_t size) {
+  core::RuntimeConfig cfg;
+  cfg.platform = platform;
+  cfg.nodes = 2;
+  cfg.threads_per_node = 1;
+  cfg.cache.enabled = cache;
+  if (cache) cfg.cache.put_enabled = true;
+  core::Runtime rt(std::move(cfg));
+
+  Point p;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(2 * 32 * size, 1, 32 * size);
+    std::vector<std::byte> buf(size, std::byte{0x42});
+    co_await th.barrier();
+    if (th.id() == 0) {
+      // Warm (cache, pins, registration caches).
+      for (int i = 0; i < 4; ++i) co_await th.get(a, 32 * size, buf);
+      co_await th.fence();
+      // Latency: mean of 16 ping GETs.
+      const auto t0 = th.now();
+      for (int i = 0; i < 16; ++i) co_await th.get(a, 32 * size, buf);
+      p.latency_us = sim::to_us(th.now() - t0) / 16.0;
+      // Bandwidth: 16 back-to-back PUTs to distinct slots, then drain.
+      const auto t1 = th.now();
+      for (int i = 0; i < 16; ++i) {
+        co_await th.put(a, 32 * size + i * size, buf);
+      }
+      co_await th.fence();
+      const double us = sim::to_us(th.now() - t1);
+      p.bandwidth_mbs = 16.0 * static_cast<double>(size) / us;  // B/us = MB/s
+    }
+    co_await th.barrier();
+  });
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
+    const auto platform = net::preset(kind);
+    std::printf("%s\n", platform.name.c_str());
+    std::printf("%10s %14s %14s %16s %16s\n", "size (B)", "lat no$ (us)",
+                "lat $ (us)", "bw no$ (MB/s)", "bw $ (MB/s)");
+    for (std::size_t size = 8; size <= 256 * 1024; size *= 8) {
+      const auto off = measure(platform, false, size);
+      const auto on = measure(platform, true, size);
+      std::printf("%10zu %14.2f %14.2f %16.1f %16.1f\n", size,
+                  off.latency_us, on.latency_us, off.bandwidth_mbs,
+                  on.bandwidth_mbs);
+    }
+    std::printf("\n");
+  }
+  std::printf("note: '$' = remote address cache enabled (PUT cache forced\n"
+              "on for the bandwidth columns, as in Fig. 6's methodology).\n");
+  return 0;
+}

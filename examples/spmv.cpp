@@ -1,0 +1,121 @@
+// Sparse matrix-vector multiply over distributed vectors — the classic
+// PGAS kernel where the address cache pays off: each iteration gathers a
+// sparse, but *repeating*, set of remote x-vector entries (the matrix
+// nonzero pattern is fixed), so after the first iteration every remote
+// gather is a cache hit and runs as RDMA.
+//
+// y = A x with A in CSR form, rows distributed by thread; x and y are
+// shared arrays with the same blocking, so x[col] gathers cross the
+// machine wherever the sparsity pattern demands.
+#include <cstdio>
+#include <vector>
+
+#include "core/forall.h"
+#include "core/runtime.h"
+#include "core/shared_array.h"
+
+using namespace xlupc;
+using core::UpcThread;
+using sim::Task;
+
+namespace {
+
+struct Csr {
+  std::vector<std::uint64_t> row_ptr;
+  std::vector<std::uint64_t> col;
+  std::vector<double> val;
+};
+
+// Deterministic banded+random sparsity: ~nnz_per_row entries per row.
+Csr make_matrix(std::uint64_t n, std::uint64_t nnz_per_row,
+                std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Csr m;
+  m.row_ptr.push_back(0);
+  for (std::uint64_t r = 0; r < n; ++r) {
+    m.col.push_back(r);  // diagonal
+    m.val.push_back(2.0);
+    for (std::uint64_t k = 1; k < nnz_per_row; ++k) {
+      m.col.push_back(rng.below(n));
+      m.val.push_back(-1.0 / static_cast<double>(nnz_per_row));
+    }
+    m.row_ptr.push_back(m.col.size());
+  }
+  return m;
+}
+
+struct Result {
+  double checksum = 0.0;
+  double sim_ms = 0.0;
+  double hit_rate = 0.0;
+};
+
+Result run(bool cache_enabled) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.nodes = 4;
+  cfg.threads_per_node = 4;
+  cfg.cache.enabled = cache_enabled;
+  core::Runtime rt(cfg);
+
+  constexpr std::uint64_t kN = 2048;
+  constexpr std::uint64_t kNnzPerRow = 4;
+  constexpr int kIters = 3;
+  const Csr matrix = make_matrix(kN, kNnzPerRow, 42);
+
+  Result result;
+  sim::Time t0 = 0, t1 = 0;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto x = co_await core::SharedArray<double>::all_alloc(th, kN);
+    auto y = co_await core::SharedArray<double>::all_alloc(th, kN);
+    // x = 1 everywhere (each thread initializes its own elements).
+    co_await core::forall(th, x.desc(), [&](std::uint64_t i) -> Task<void> {
+      co_await x.write(th, i, 1.0);
+    });
+    co_await th.barrier();
+    if (th.id() == 0) t0 = th.now();
+
+    for (int it = 0; it < kIters; ++it) {
+      co_await core::forall(th, y.desc(), [&](std::uint64_t r) -> Task<void> {
+        double acc = 0.0;
+        for (std::uint64_t k = matrix.row_ptr[r]; k < matrix.row_ptr[r + 1];
+             ++k) {
+          acc += matrix.val[k] * co_await x.read(th, matrix.col[k]);
+        }
+        co_await y.write(th, r, acc);
+      });
+      co_await th.barrier();
+      std::swap(x, y);
+      co_await th.barrier();
+    }
+
+    if (th.id() == 0) {
+      t1 = th.now();
+      double sum = 0.0;
+      for (std::uint64_t i = 0; i < kN; i += 97) {
+        sum += co_await x.read(th, i);
+      }
+      result.checksum = sum;
+    }
+    co_await th.barrier();
+  });
+  result.sim_ms = sim::to_ms(t1 - t0);
+  result.hit_rate = rt.cache(0).stats().hit_rate();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const Result off = run(false);
+  const Result on = run(true);
+  std::printf("spmv (n=2048, 4 nnz/row, 3 iterations, 16 threads/4 nodes)\n");
+  std::printf("  without address cache: %8.2f ms simulated\n", off.sim_ms);
+  std::printf("  with    address cache: %8.2f ms simulated (%.1f%% faster, "
+              "node-0 hit rate %.1f%%)\n",
+              on.sim_ms, 100.0 * (off.sim_ms - on.sim_ms) / off.sim_ms,
+              100.0 * on.hit_rate);
+  std::printf("  checksum: %.6f (cache on/off agree: %s)\n", on.checksum,
+              on.checksum == off.checksum ? "yes" : "NO");
+  return on.checksum == off.checksum ? 0 : 1;
+}

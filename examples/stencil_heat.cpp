@@ -1,0 +1,98 @@
+// Heat-diffusion stencil over a multi-blocked 2-D shared array.
+//
+// The temperature grid is tiled across UPC threads with 2-D blocking
+// factors (the multi-blocked arrays of Barton et al. [7], supported by
+// this runtime). Each Jacobi sweep reads the four-point stencil; accesses
+// inside a tile are local, accesses across tile edges hit neighbouring
+// threads — remote ones go through the remote address cache and RDMA.
+//
+// Run it twice (cache on/off) to see the optimization on a real kernel.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/shared_array.h"
+
+using namespace xlupc;
+using core::SharedArray2D;
+using core::UpcThread;
+using sim::Task;
+
+namespace {
+
+struct Result {
+  double residual = 0.0;
+  double sim_ms = 0.0;
+};
+
+Result run(bool cache_enabled) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.nodes = 4;
+  cfg.threads_per_node = 4;
+  cfg.cache.enabled = cache_enabled;
+  core::Runtime rt(cfg);
+
+  constexpr std::uint64_t kRows = 64, kCols = 64;
+  constexpr std::uint64_t kBr = 16, kBc = 16;  // 4x4 tiles over 16 threads
+  constexpr int kSweeps = 3;
+
+  Result result;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto grid =
+        co_await SharedArray2D<double>::all_alloc(th, kRows, kCols, kBr, kBc);
+    auto next =
+        co_await SharedArray2D<double>::all_alloc(th, kRows, kCols, kBr, kBc);
+
+    // Boundary condition: hot left edge, writes by the owning threads.
+    for (std::uint64_t r = 0; r < kRows; ++r) {
+      if (grid.threadof(r, 0) == th.id()) {
+        co_await grid.write(th, r, 0, 100.0);
+        co_await next.write(th, r, 0, 100.0);
+      }
+    }
+    co_await th.barrier();
+
+    double local_residual = 0.0;
+    for (int sweep = 0; sweep < kSweeps; ++sweep) {
+      local_residual = 0.0;
+      for (std::uint64_t r = 1; r + 1 < kRows; ++r) {
+        for (std::uint64_t c = 1; c + 1 < kCols; ++c) {
+          if (grid.threadof(r, c) != th.id()) continue;
+          const double up = co_await grid.read(th, r - 1, c);
+          const double down = co_await grid.read(th, r + 1, c);
+          const double left = co_await grid.read(th, r, c - 1);
+          const double right = co_await grid.read(th, r, c + 1);
+          const double centre = co_await grid.read(th, r, c);
+          const double v = 0.25 * (up + down + left + right);
+          local_residual += (v - centre) * (v - centre);
+          co_await next.write(th, r, c, v);
+        }
+      }
+      co_await th.barrier();
+      std::swap(grid, next);
+      co_await th.barrier();
+    }
+
+    if (th.id() == 0) {
+      result.residual = local_residual;
+      result.sim_ms = sim::to_ms(th.now());
+    }
+    co_await th.barrier();
+  });
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const Result off = run(false);
+  const Result on = run(true);
+  std::printf("stencil_heat (64x64, 16x16 tiles, 16 threads / 4 nodes)\n");
+  std::printf("  without address cache: %.2f ms simulated\n", off.sim_ms);
+  std::printf("  with    address cache: %.2f ms simulated (%.1f%% faster)\n",
+              on.sim_ms, 100.0 * (off.sim_ms - on.sim_ms) / off.sim_ms);
+  std::printf("  thread-0 residual contribution: %.4f\n", on.residual);
+  return 0;
+}

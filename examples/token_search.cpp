@@ -1,0 +1,110 @@
+// Token search over a distributed string — the application pattern behind
+// the DIS Field Stressmark, written directly against the public API.
+//
+// A text corpus is blocked across UPC threads. Each thread scans its own
+// block with upc_memget-style bulk reads and extends the search into the
+// neighbouring thread's block by the token width ("overhang"), so tokens
+// spanning a block boundary are found exactly once. Found positions are
+// counted and delimiters are patched in place with remote PUTs.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/shared_array.h"
+
+using namespace xlupc;
+using core::UpcThread;
+using sim::Task;
+
+int main() {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.nodes = 4;
+  cfg.threads_per_node = 2;
+  core::Runtime rt(cfg);
+
+  const std::string token = "needle";
+  constexpr std::uint64_t kBytesPerThread = 4096;
+  std::uint64_t total_found = 0;
+
+  rt.run([&](UpcThread& th) -> Task<void> {
+    const std::uint32_t threads = th.runtime().threads();
+    const std::uint64_t n = kBytesPerThread * threads;
+    auto arr = co_await th.all_alloc(n, 1, kBytesPerThread);
+
+    // Seed this thread's block with haystack text + a few tokens, some of
+    // them deliberately straddling the boundary to the next block.
+    {
+      std::vector<char> block(kBytesPerThread, '.');
+      for (int k = 0; k < 5; ++k) {
+        const std::uint64_t pos =
+            th.rng().below(kBytesPerThread - token.size());
+        std::memcpy(block.data() + pos, token.data(), token.size());
+      }
+      // Straddle: first half of the token at the very end of the block.
+      const std::uint64_t cut = 1 + th.rng().below(token.size() - 1);
+      std::memcpy(block.data() + kBytesPerThread - cut, token.data(), cut);
+      rt.debug_write(arr, th.id() * kBytesPerThread,
+                     std::as_bytes(std::span(block.data(), block.size())));
+      // ...and its second half at the start of the next thread's block.
+      std::vector<char> tail(token.begin() + cut, token.end());
+      rt.debug_write(
+          arr, ((th.id() + 1) % threads) * kBytesPerThread,
+          std::as_bytes(std::span(tail.data(), tail.size())));
+    }
+    co_await th.barrier();
+
+    // Pull the local block plus the overhang into a private buffer.
+    std::vector<char> hay(kBytesPerThread + token.size() - 1);
+    co_await th.memget(
+        arr, th.id() * kBytesPerThread,
+        std::as_writable_bytes(std::span(hay.data(), kBytesPerThread)));
+    const std::uint64_t overhang_start =
+        ((th.id() + 1) % threads) * kBytesPerThread;
+    co_await th.memget(
+        arr, overhang_start,
+        std::as_writable_bytes(
+            std::span(hay.data() + kBytesPerThread, token.size() - 1)));
+
+    // Scan (simulated CPU cost proportional to the bytes scanned).
+    co_await th.compute(sim::us(static_cast<double>(hay.size()) / 400.0));
+    std::uint64_t found = 0;
+    for (std::size_t i = 0; i + token.size() <= hay.size(); ++i) {
+      if (std::memcmp(hay.data() + i, token.data(), token.size()) == 0) {
+        ++found;
+        // Patch the first byte as a delimiter (a remote PUT when the hit
+        // is inside the overhang).
+        const std::byte delim{'#'};
+        co_await th.put(arr, (th.id() * kBytesPerThread + i) % n,
+                        std::span(&delim, 1));
+      }
+    }
+    co_await th.barrier();
+
+    // Reduce the counts through the shared array itself.
+    auto counts = co_await th.all_alloc(threads, sizeof(std::uint64_t), 1);
+    co_await th.write<std::uint64_t>(counts, th.id(), found);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        total_found += co_await th.read<std::uint64_t>(counts, t);
+      }
+    }
+    co_await th.barrier();
+  });
+
+  std::printf("token_search: found %llu occurrences of \"%s\" "
+              "(8 threads planted ~6 each)\n",
+              static_cast<unsigned long long>(total_found), token.c_str());
+  const auto& ctr = rt.counters();
+  std::printf("  remote traffic: %llu AM gets, %llu RDMA gets, "
+              "%llu AM puts, %llu RDMA puts\n",
+              static_cast<unsigned long long>(ctr.am_gets),
+              static_cast<unsigned long long>(ctr.rdma_gets),
+              static_cast<unsigned long long>(ctr.am_puts),
+              static_cast<unsigned long long>(ctr.rdma_puts));
+  // Plants can occasionally overlap, so accept a small tolerance.
+  return (total_found >= 40 && total_found <= 48) ? 0 : 1;
+}

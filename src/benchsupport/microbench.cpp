@@ -1,0 +1,70 @@
+#include "benchsupport/microbench.h"
+
+#include <vector>
+
+#include "core/runtime.h"
+
+namespace xlupc::bench {
+
+using core::ArrayDesc;
+using core::UpcThread;
+using sim::Task;
+
+MicroResult measure_op(core::RuntimeConfig cfg, Op op, MicroParams mp) {
+  cfg.nodes = 2;
+  cfg.threads_per_node = 1;
+  core::Runtime rt(std::move(cfg));
+
+  sim::RunningStat stat;
+  const std::size_t len = mp.msg_bytes;
+
+  rt.run([&, op, mp, len](UpcThread& th) -> Task<void> {
+    // One-byte elements blocked by `len`: block 0 lives on thread 0,
+    // block 1 on thread 1 — so thread 0's access to element `len` is
+    // remote, exactly one message of `len` bytes.
+    ArrayDesc arr = co_await th.all_alloc(2 * len, 1, len);
+    std::vector<std::byte> buf(len, std::byte{0x5a});
+    co_await th.barrier();
+    if (th.id() == 0) {
+      for (int it = 0; it < mp.warmup + mp.iterations; ++it) {
+        const sim::Time t0 = th.now();
+        if (op == Op::kGet) {
+          co_await th.get(arr, len, buf);
+        } else {
+          co_await th.put(arr, len, buf);
+        }
+        const sim::Time t1 = th.now();
+        if (it >= mp.warmup) stat.add(sim::to_us(t1 - t0));
+        // Drain between PUTs so successive iterations measure latency,
+        // not NIC queueing.
+        if (op == Op::kPut) co_await th.fence();
+      }
+    }
+    co_await th.barrier();
+  });
+
+  return MicroResult{stat.mean(), stat.ci95_half(), rt.counters()};
+}
+
+ImprovementResult measure_improvement(const net::PlatformParams& platform,
+                                      Op op, MicroParams params) {
+  core::RuntimeConfig baseline;
+  baseline.platform = platform;
+  baseline.cache.enabled = false;
+  const MicroResult z = measure_op(baseline, op, params);
+
+  core::RuntimeConfig cached;
+  cached.platform = platform;
+  cached.cache.enabled = true;
+  if (op == Op::kPut) {
+    // Fig. 6 measures PUT with the cache in use on both platforms — the
+    // LAPI result is what led the authors to disable it afterwards.
+    cached.cache.put_enabled = true;
+  }
+  const MicroResult w = measure_op(cached, op, params);
+
+  return ImprovementResult{z.mean_us, w.mean_us,
+                           sim::improvement_percent(z.mean_us, w.mean_us)};
+}
+
+}  // namespace xlupc::bench

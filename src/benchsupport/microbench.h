@@ -1,0 +1,42 @@
+// GET/PUT microbenchmarks reproducing the paper's Sec. 4.3 methodology:
+// two nodes, one active UPC thread per node, roundtrip GET latency and
+// initiator-visible PUT overhead measured with and without the remote
+// address cache, repeated to a 95% confidence level.
+#pragma once
+
+#include <cstdint>
+
+#include "core/api.h"
+#include "sim/stats.h"
+
+namespace xlupc::bench {
+
+enum class Op : std::uint8_t { kGet, kPut };
+
+struct MicroParams {
+  std::size_t msg_bytes = 8;
+  int warmup = 4;       ///< iterations to populate cache/pins/reg caches
+  int iterations = 20;  ///< measured iterations
+};
+
+struct MicroResult {
+  double mean_us = 0.0;
+  double ci95_us = 0.0;  ///< 95% CI half-width
+  xlupc::core::OpCounters counters;
+};
+
+/// Latency/overhead of one operation under `cfg` (the cache setting comes
+/// from cfg.cache). Two-node, one-thread-per-node configuration is forced.
+MicroResult measure_op(core::RuntimeConfig cfg, Op op, MicroParams params);
+
+/// Convenience: % improvement of enabling the cache for `op` at one size,
+/// as defined in Fig. 6: 100 (Z - W) / Z.
+struct ImprovementResult {
+  double baseline_us = 0.0;  ///< Z: cache disabled
+  double cached_us = 0.0;    ///< W: cache enabled
+  double improvement_pct = 0.0;
+};
+ImprovementResult measure_improvement(const net::PlatformParams& platform,
+                                      Op op, MicroParams params);
+
+}  // namespace xlupc::bench

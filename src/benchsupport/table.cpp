@@ -1,0 +1,51 @@
+#include "benchsupport/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace xlupc::bench {
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << std::setw(static_cast<int>(widths[i])) << cells[i];
+      if (i + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) line(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& r : rows_) line(r);
+}
+
+}  // namespace xlupc::bench

@@ -1,0 +1,34 @@
+// Plain-text table/CSV output for experiment harnesses: every bench binary
+// prints the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace xlupc::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Column-aligned human-readable rendering.
+  void print(std::ostream& os = std::cout) const;
+  /// Machine-readable CSV rendering.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting (std::to_string prints 6 digits).
+std::string fmt(double v, int digits = 2);
+
+}  // namespace xlupc::bench

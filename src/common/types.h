@@ -1,0 +1,26 @@
+// Shared vocabulary types used across all xlupc libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace xlupc {
+
+/// Identifies a physical node (blade / server) in the machine.
+using NodeId = std::uint32_t;
+
+/// Identifies a UPC thread, 0 .. THREADS-1 (global numbering).
+using ThreadId = std::uint32_t;
+
+/// A simulated virtual address. Address spaces of distinct nodes are
+/// disjoint by construction (distinct high bits), recreating the property
+/// that "distributed shared array All-0 has a different local address on
+/// every node" (paper Fig. 2).
+using Addr = std::uint64_t;
+
+/// RDMA registration key returned by memory pinning, as required by
+/// RDMA-capable transports to address remote memory.
+using RdmaKey = std::uint64_t;
+
+inline constexpr Addr kNullAddr = 0;
+
+}  // namespace xlupc

@@ -1,0 +1,54 @@
+#include "core/address_cache.h"
+
+namespace xlupc::core {
+
+std::optional<net::BaseInfo> AddressCache::lookup(const CacheKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.info;
+}
+
+void AddressCache::insert(const CacheKey& key, net::BaseInfo info) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.info = info;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  if (max_entries_ != 0 && map_.size() >= max_entries_) {
+    const CacheKey victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{info, lru_.begin()});
+  ++stats_.insertions;
+}
+
+void AddressCache::invalidate_handle(std::uint64_t handle) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.handle == handle) {
+      lru_.erase(it->second.lru_pos);
+      it = map_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AddressCache::invalidate(const CacheKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  map_.erase(it);
+  ++stats_.invalidations;
+}
+
+}  // namespace xlupc::core

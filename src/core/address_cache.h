@@ -1,0 +1,101 @@
+// The remote address cache — the paper's core contribution (Sec. 3).
+//
+// A bounded hash table per node. Each entry correlates an SVD handle and
+// a node identifier with the physical base address (and RDMA key) of the
+// shared variable's piece on that remote node. A hit lets the initiator
+// compute the final remote address (base + offset) locally and execute
+// the transfer as an RDMA operation; a miss routes the operation through
+// the default messaging path, which piggybacks the base address back to
+// populate the cache for the next access.
+//
+// "The Address Cache is currently implemented as a dynamic hash table.
+// Its size is allowed to increase on demand to a fixed limit of 100
+// entries." (Sec. 4.5) — eviction beyond the limit is LRU. Entries are
+// eagerly invalidated when the shared object is deallocated (Sec. 3.1).
+//
+// Under the chunked pinning strategy ([10]) entries are tagged per chunk,
+// because a cache hit must imply the addressed memory is pinned at the
+// target; under the paper's greedy strategy chunk is always 0 and "the
+// cache tags can simply be the SVD handles".
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace xlupc::core {
+
+struct CacheKey {
+  std::uint64_t handle = 0;  ///< packed SVD handle
+  NodeId node = 0;           ///< remote node the address lives on
+  std::uint32_t chunk = 0;   ///< pin chunk index (0 under greedy pinning)
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    std::uint64_t x = k.handle ^ (static_cast<std::uint64_t>(k.node) << 40) ^
+                      (static_cast<std::uint64_t>(k.chunk) << 20);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+struct AddressCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class AddressCache {
+ public:
+  /// `max_entries` = growth limit of the dynamic hash table (paper: 100).
+  explicit AddressCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  /// Probe for a remote base address; counts a hit or a miss and
+  /// refreshes LRU order on hit.
+  std::optional<net::BaseInfo> lookup(const CacheKey& key);
+
+  /// Insert/refresh an entry (piggybacked base address arrived); evicts
+  /// the least-recently-used entry when full.
+  void insert(const CacheKey& key, net::BaseInfo info);
+
+  /// Eagerly drop all entries of a shared object (it was deallocated).
+  void invalidate_handle(std::uint64_t handle);
+
+  /// Drop one entry (e.g. an RDMA NAK revealed the target unpinned it).
+  void invalidate(const CacheKey& key);
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t max_entries() const noexcept { return max_entries_; }
+  const AddressCacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Entry {
+    net::BaseInfo info;
+    std::list<CacheKey>::iterator lru_pos;
+  };
+
+  std::size_t max_entries_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
+  std::list<CacheKey> lru_;  // front = most recently used
+  AddressCacheStats stats_;
+};
+
+}  // namespace xlupc::core

@@ -1,0 +1,74 @@
+// Public value types of the XLUPC-style runtime.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+#include "core/layout.h"
+#include "mem/pinned_table.h"
+#include "net/params.h"
+#include "svd/handle.h"
+
+namespace xlupc::core {
+
+/// Descriptor of a distributed shared array: the SVD handle plus the
+/// geometry every thread can compute locations with.
+struct ArrayDesc {
+  svd::Handle handle;
+  LayoutPtr layout;
+
+  bool valid() const noexcept { return layout != nullptr; }
+};
+
+/// Descriptor of a upc_lock-style shared lock, affine to its home thread.
+struct LockDesc {
+  svd::Handle handle;
+  ThreadId home = 0;
+};
+
+/// Remote-address-cache configuration (paper Sec. 4.5: dynamic hash table
+/// growing on demand to a fixed limit, default 100 entries).
+struct CacheConfig {
+  bool enabled = true;
+  std::size_t max_entries = 100;
+  /// Override for "use the cache for PUT operations"; defaults to the
+  /// platform's setting (the paper disables it on LAPI).
+  std::optional<bool> put_enabled;
+  /// Resolution-strategy ablation: replace the bounded cache with the
+  /// full distributed table of remote addresses the paper rejects
+  /// (Sec. 2.1) — every allocation publishes base addresses to every
+  /// node (O(nodes^2) messages) and each node stores O(nodes x objects)
+  /// entries. Requires the greedy pin strategy.
+  bool full_table = false;
+};
+
+struct RuntimeConfig {
+  net::PlatformParams platform;
+  std::uint32_t nodes = 2;
+  std::uint32_t threads_per_node = 1;
+  CacheConfig cache;
+  mem::PinStrategy pin_strategy = mem::PinStrategy::kGreedy;
+  std::uint64_t seed = 1;
+  /// Record a TraceEvent for every data-movement operation (the
+  /// Paraver-style analysis of paper Sec. 4.6).
+  bool trace = false;
+
+  std::uint32_t threads() const noexcept { return nodes * threads_per_node; }
+};
+
+/// How each access was ultimately served — the observable behaviour the
+/// paper's evaluation is built on.
+struct OpCounters {
+  std::uint64_t local_gets = 0;  ///< same-thread (affine) accesses
+  std::uint64_t shm_gets = 0;    ///< same-node, cross-thread accesses
+  std::uint64_t am_gets = 0;     ///< remote, default SVD path
+  std::uint64_t rdma_gets = 0;   ///< remote, cache hit -> RDMA
+  std::uint64_t local_puts = 0;
+  std::uint64_t shm_puts = 0;
+  std::uint64_t am_puts = 0;
+  std::uint64_t rdma_puts = 0;
+  std::uint64_t rdma_naks = 0;   ///< RDMA refused (unpinned), fell back
+};
+
+}  // namespace xlupc::core

@@ -1,0 +1,52 @@
+// upc_forall analogue: affinity-driven work distribution.
+//
+// `forall(th, array, body)` invokes `body(i)` exactly once per array
+// element across all threads, with each invocation running on the thread
+// the element is affine to — the standard UPC idiom
+// `upc_forall(i = 0; i < N; ++i; &A[i]) { ... }`. Iteration walks the
+// calling thread's own blocks directly (no per-element ownership test),
+// so the loop overhead is O(elements owned), not O(N).
+#pragma once
+
+#include <concepts>
+
+#include "core/runtime.h"
+
+namespace xlupc::core {
+
+/// body: callable (std::uint64_t index) -> sim::Task<void>.
+template <class Body>
+  requires requires(Body b, std::uint64_t i) {
+    { b(i) } -> std::same_as<sim::Task<void>>;
+  }
+sim::Task<void> forall(UpcThread& th, const ArrayDesc& a, Body body) {
+  const Layout& layout = *a.layout;
+  const std::uint64_t n = layout.total_elems();
+  const std::uint64_t block = layout.block_factor();
+  const std::uint32_t threads = layout.threads();
+  // Thread t owns blocks t, t+T, t+2T, ...
+  for (std::uint64_t b = th.id(); b * block < n;
+       b += threads) {
+    const std::uint64_t start = b * block;
+    const std::uint64_t end = std::min(start + block, n);
+    for (std::uint64_t i = start; i < end; ++i) {
+      co_await body(i);
+    }
+  }
+}
+
+/// Non-affine variant: iterate [lo, hi) round-robin by index
+/// (upc_forall with an integer affinity expression `i`).
+template <class Body>
+  requires requires(Body b, std::uint64_t i) {
+    { b(i) } -> std::same_as<sim::Task<void>>;
+  }
+sim::Task<void> forall_cyclic(UpcThread& th, std::uint64_t lo,
+                              std::uint64_t hi, Body body) {
+  const std::uint32_t threads = th.runtime().threads();
+  for (std::uint64_t i = lo + th.id(); i < hi; i += threads) {
+    co_await body(i);
+  }
+}
+
+}  // namespace xlupc::core

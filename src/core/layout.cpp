@@ -1,0 +1,130 @@
+#include "core/layout.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xlupc::core {
+
+Layout::Layout(LayoutSpec spec, std::uint32_t threads,
+               std::uint32_t threads_per_node)
+    : spec_(spec), threads_(threads), tpn_(threads_per_node) {
+  if (threads == 0 || threads_per_node == 0) {
+    throw std::invalid_argument("Layout: thread counts must be positive");
+  }
+  if (spec_.dims != 1 && spec_.dims != 2) {
+    throw std::invalid_argument("Layout: dims must be 1 or 2");
+  }
+  if (spec_.elem_size == 0) {
+    throw std::invalid_argument("Layout: element size must be positive");
+  }
+  if (spec_.dims == 1) {
+    if (spec_.block[0] == 0) {
+      // UPC default: block size [*] — evenly blocked, ceil(N / THREADS).
+      spec_.block[0] = (spec_.extent[0] + threads - 1) / threads;
+      if (spec_.block[0] == 0) spec_.block[0] = 1;
+    }
+    total_elems_ = spec_.extent[0];
+  } else {
+    if (spec_.block[0] == 0 || spec_.block[1] == 0) {
+      throw std::invalid_argument("Layout: 2-D blocking factors required");
+    }
+    if (spec_.extent[0] % spec_.block[0] != 0 ||
+        spec_.extent[1] % spec_.block[1] != 0) {
+      throw std::invalid_argument(
+          "Layout: 2-D extents must be multiples of the blocking factors");
+    }
+    total_elems_ = spec_.extent[0] * spec_.extent[1];
+  }
+}
+
+Layout::Loc Layout::locate(std::uint64_t i) const {
+  if (spec_.dims != 1) {
+    throw std::logic_error("Layout::locate: 1-D accessor on 2-D layout");
+  }
+  if (i >= total_elems_) {
+    throw std::out_of_range("Layout::locate: element index out of range");
+  }
+  const std::uint64_t b = spec_.block[0];
+  const std::uint64_t block_id = i / b;
+  const std::uint64_t phase = i % b;
+  const ThreadId t = static_cast<ThreadId>(block_id % threads_);
+  const std::uint64_t round = block_id / threads_;
+  return Loc{t, (round * b + phase) * spec_.elem_size};
+}
+
+std::uint64_t Layout::run_length(std::uint64_t i) const {
+  const std::uint64_t b = spec_.block[0];
+  const std::uint64_t phase = i % b;
+  return std::min(b - phase, total_elems_ - i);
+}
+
+Layout::Loc Layout::locate2d(std::uint64_t r, std::uint64_t c) const {
+  if (spec_.dims != 2) {
+    throw std::logic_error("Layout::locate2d: 2-D accessor on 1-D layout");
+  }
+  if (r >= spec_.extent[0] || c >= spec_.extent[1]) {
+    throw std::out_of_range("Layout::locate2d: indices out of range");
+  }
+  const std::uint64_t br = spec_.block[0];
+  const std::uint64_t bc = spec_.block[1];
+  const std::uint64_t tiles_per_row = spec_.extent[1] / bc;
+  const std::uint64_t tile_id = (r / br) * tiles_per_row + (c / bc);
+  const ThreadId t = static_cast<ThreadId>(tile_id % threads_);
+  const std::uint64_t tile_seq = tile_id / threads_;
+  const std::uint64_t within = (r % br) * bc + (c % bc);
+  return Loc{t, (tile_seq * br * bc + within) * spec_.elem_size};
+}
+
+std::uint64_t Layout::piece_elems_1d(ThreadId t) const {
+  const std::uint64_t b = spec_.block[0];
+  const std::uint64_t full_blocks = total_elems_ / b;
+  const std::uint64_t tail = total_elems_ % b;
+  // Blocks are dealt round-robin: thread t gets blocks t, t+T, t+2T, ...
+  std::uint64_t blocks = full_blocks / threads_;
+  const std::uint64_t extra = full_blocks % threads_;
+  std::uint64_t elems = 0;
+  if (t < extra) ++blocks;
+  elems = blocks * b;
+  // The final partial block (if any) belongs to thread full_blocks % T.
+  if (tail != 0 && t == full_blocks % threads_) elems += tail;
+  return elems;
+}
+
+std::uint64_t Layout::tiles_of_thread(ThreadId t) const {
+  const std::uint64_t tiles = (spec_.extent[0] / spec_.block[0]) *
+                              (spec_.extent[1] / spec_.block[1]);
+  std::uint64_t n = tiles / threads_;
+  if (t < tiles % threads_) ++n;
+  return n;
+}
+
+std::uint64_t Layout::thread_piece_bytes(ThreadId t) const {
+  if (t >= threads_) {
+    throw std::out_of_range("Layout::thread_piece_bytes: bad thread");
+  }
+  if (spec_.dims == 1) {
+    return piece_elems_1d(t) * spec_.elem_size;
+  }
+  return tiles_of_thread(t) * spec_.block[0] * spec_.block[1] *
+         spec_.elem_size;
+}
+
+std::uint64_t Layout::node_piece_bytes(NodeId n) const {
+  const ThreadId first = static_cast<ThreadId>(n) * tpn_;
+  std::uint64_t bytes = 0;
+  for (ThreadId t = first; t < first + tpn_ && t < threads_; ++t) {
+    bytes += thread_piece_bytes(t);
+  }
+  return bytes;
+}
+
+std::uint64_t Layout::thread_offset_in_node(ThreadId t) const {
+  const ThreadId first = node_of(t) * tpn_;
+  std::uint64_t offset = 0;
+  for (ThreadId u = first; u < t; ++u) {
+    offset += thread_piece_bytes(u);
+  }
+  return offset;
+}
+
+}  // namespace xlupc::core

@@ -1,0 +1,92 @@
+// Data-distribution layouts for shared arrays.
+//
+// 1-D arrays are distributed block-cyclically among UPC threads (paper
+// Sec. 2.1); 2-D arrays support multidimensional blocking factors
+// ("multi-blocked arrays", Barton et al. [7]), distributing tiles
+// round-robin. Within a node, the pieces of that node's threads are
+// packed contiguously into one allocation (XLUPC maps UPC threads to
+// pthreads sharing the node's address space), so a single (handle, node)
+// cache entry covers all threads of the node — matching the paper's
+// address-cache key.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace xlupc::core {
+
+/// Wire-friendly description of an array layout (carried by SVD
+/// allocation notices so every node can reconstruct the geometry).
+struct LayoutSpec {
+  std::uint8_t dims = 1;  ///< 1 or 2
+  std::uint64_t elem_size = 1;
+  std::uint64_t extent[2] = {0, 0};  ///< elements per dimension
+  std::uint64_t block[2] = {0, 0};   ///< blocking factor per dimension
+};
+
+/// Geometry of one distributed array instance.
+class Layout {
+ public:
+  /// Location of an element: owning thread + byte offset inside that
+  /// thread's piece.
+  struct Loc {
+    ThreadId thread = 0;
+    std::uint64_t offset = 0;  ///< bytes within the thread's piece
+  };
+
+  Layout(LayoutSpec spec, std::uint32_t threads,
+         std::uint32_t threads_per_node);
+
+  const LayoutSpec& spec() const noexcept { return spec_; }
+  std::uint32_t threads() const noexcept { return threads_; }
+  std::uint32_t threads_per_node() const noexcept { return tpn_; }
+  std::uint32_t nodes() const noexcept {
+    return (threads_ + tpn_ - 1) / tpn_;
+  }
+  std::uint64_t elem_size() const noexcept { return spec_.elem_size; }
+  /// Total elements (product of extents).
+  std::uint64_t total_elems() const noexcept { return total_elems_; }
+  std::uint64_t total_bytes() const noexcept {
+    return total_elems_ * spec_.elem_size;
+  }
+  /// Blocking factor of dimension 0 (1-D block size).
+  std::uint64_t block_factor() const noexcept { return spec_.block[0]; }
+
+  /// 1-D: owner + piece offset of linear element `i`.
+  Loc locate(std::uint64_t i) const;
+  /// 2-D: owner + piece offset of element (r, c).
+  Loc locate2d(std::uint64_t r, std::uint64_t c) const;
+
+  /// Number of contiguous elements starting at `i` that live on the same
+  /// thread at consecutive piece offsets (1-D; bounded by array end).
+  std::uint64_t run_length(std::uint64_t i) const;
+
+  /// Bytes of thread `t`'s piece.
+  std::uint64_t thread_piece_bytes(ThreadId t) const;
+  /// Bytes of node `n`'s combined allocation (its threads' pieces).
+  std::uint64_t node_piece_bytes(NodeId n) const;
+  /// Byte offset of thread `t`'s piece within its node's allocation.
+  std::uint64_t thread_offset_in_node(ThreadId t) const;
+  /// Offset within the node allocation for a located element.
+  std::uint64_t node_offset(const Loc& loc) const {
+    return thread_offset_in_node(loc.thread) + loc.offset;
+  }
+
+  NodeId node_of(ThreadId t) const { return t / tpn_; }
+  std::uint32_t core_of(ThreadId t) const { return t % tpn_; }
+
+ private:
+  std::uint64_t piece_elems_1d(ThreadId t) const;
+  std::uint64_t tiles_of_thread(ThreadId t) const;
+
+  LayoutSpec spec_;
+  std::uint32_t threads_;
+  std::uint32_t tpn_;
+  std::uint64_t total_elems_;
+};
+
+using LayoutPtr = std::shared_ptr<const Layout>;
+
+}  // namespace xlupc::core

@@ -1,0 +1,55 @@
+#include "core/pointer_to_shared.h"
+
+#include <stdexcept>
+
+namespace xlupc::core {
+
+PointerToShared::PointerToShared(const ArrayDesc& a, std::uint64_t index)
+    : array_(a) {
+  if (!a.valid()) {
+    throw std::invalid_argument("PointerToShared: invalid array");
+  }
+  const std::uint64_t b = a.layout->block_factor();
+  const std::uint32_t t = a.layout->threads();
+  const std::uint64_t block_id = index / b;
+  phase_ = index % b;
+  thread_ = static_cast<ThreadId>(block_id % t);
+  round_ = block_id / t;
+}
+
+std::uint64_t PointerToShared::index() const noexcept {
+  const std::uint64_t b = array_.layout->block_factor();
+  const std::uint32_t t = array_.layout->threads();
+  return (round_ * t + thread_) * b + phase_;
+}
+
+std::uint64_t PointerToShared::addrfield() const {
+  const std::uint64_t b = array_.layout->block_factor();
+  return (round_ * b + phase_) * array_.layout->elem_size();
+}
+
+PointerToShared PointerToShared::operator+(std::int64_t n) const {
+  PointerToShared p = *this;
+  p += n;
+  return p;
+}
+
+PointerToShared& PointerToShared::operator+=(std::int64_t n) {
+  const std::int64_t idx = static_cast<std::int64_t>(index()) + n;
+  if (idx < 0) {
+    throw std::out_of_range("PointerToShared: arithmetic below zero");
+  }
+  *this = PointerToShared(array_, static_cast<std::uint64_t>(idx));
+  return *this;
+}
+
+std::int64_t PointerToShared::operator-(const PointerToShared& other) const {
+  if (!(array_.handle == other.array_.handle)) {
+    throw std::invalid_argument(
+        "PointerToShared: difference of pointers into different arrays");
+  }
+  return static_cast<std::int64_t>(index()) -
+         static_cast<std::int64_t>(other.index());
+}
+
+}  // namespace xlupc::core

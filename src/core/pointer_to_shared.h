@@ -1,0 +1,53 @@
+// UPC pointer-to-shared arithmetic.
+//
+// A pointer-to-shared identifies an element of a shared array by
+// (thread, phase, block round): elements advance through the phase within
+// a block, then to the same phase on the next thread, wrapping back to
+// thread 0 with the block round incremented — the standard UPC
+// block-cyclic traversal order. The runtime implements upc_phaseof,
+// upc_threadof and upc_addrfield on top of this representation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/api.h"
+
+namespace xlupc::core {
+
+class PointerToShared {
+ public:
+  PointerToShared() = default;
+  /// Pointer to element `index` of `a`.
+  PointerToShared(const ArrayDesc& a, std::uint64_t index);
+
+  const ArrayDesc& array() const noexcept { return array_; }
+  /// Linear element index this pointer designates.
+  std::uint64_t index() const noexcept;
+
+  /// upc_threadof.
+  ThreadId thread() const noexcept { return thread_; }
+  /// upc_phaseof: position within the current block.
+  std::uint64_t phase() const noexcept { return phase_; }
+  /// upc_addrfield: byte offset within the owning thread's piece.
+  std::uint64_t addrfield() const;
+
+  /// Pointer arithmetic: p + n elements (n may be negative).
+  PointerToShared operator+(std::int64_t n) const;
+  PointerToShared& operator+=(std::int64_t n);
+  PointerToShared& operator++() { return *this += 1; }
+  /// Difference in elements.
+  std::int64_t operator-(const PointerToShared& other) const;
+
+  friend bool operator==(const PointerToShared& a, const PointerToShared& b) {
+    return a.thread_ == b.thread_ && a.phase_ == b.phase_ &&
+           a.round_ == b.round_ && a.array_.handle == b.array_.handle;
+  }
+
+ private:
+  ArrayDesc array_;
+  ThreadId thread_ = 0;
+  std::uint64_t phase_ = 0;
+  std::uint64_t round_ = 0;  ///< block round (which of the thread's blocks)
+};
+
+}  // namespace xlupc::core

@@ -1,0 +1,962 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace xlupc::core {
+
+using sim::Duration;
+using sim::Task;
+
+namespace {
+
+net::WireLayout to_wire(const LayoutSpec& s) {
+  net::WireLayout w;
+  w.dims = s.dims;
+  w.elem_size = s.elem_size;
+  w.extent0 = s.extent[0];
+  w.extent1 = s.extent[1];
+  w.block0 = s.block[0];
+  w.block1 = s.block[1];
+  return w;
+}
+
+LayoutSpec from_wire(const net::WireLayout& w) {
+  LayoutSpec s;
+  s.dims = w.dims;
+  s.elem_size = w.elem_size;
+  s.extent[0] = w.extent0;
+  s.extent[1] = w.extent1;
+  s.block[0] = w.block0;
+  s.block[1] = w.block1;
+  return s;
+}
+
+}  // namespace
+
+// ===================================================== Runtime basics ===
+
+Runtime::Runtime(RuntimeConfig cfg)
+    : cfg_(std::move(cfg)),
+      machine_(sim_, cfg_.platform,
+               net::MachineConfig{cfg_.nodes, cfg_.threads_per_node}) {
+  if (cfg_.nodes == 0 || cfg_.threads_per_node == 0) {
+    throw std::invalid_argument("Runtime: nodes/threads must be positive");
+  }
+  if (cfg_.threads_per_node > cfg_.platform.max_cores_per_node) {
+    throw std::invalid_argument(
+        "Runtime: threads_per_node exceeds the platform's cores per node");
+  }
+  if (cfg_.cache.full_table &&
+      cfg_.pin_strategy != mem::PinStrategy::kGreedy) {
+    throw std::invalid_argument(
+        "Runtime: full-table resolution requires greedy pinning");
+  }
+  transport_ = net::make_transport(machine_, *this);
+
+  mem::PinLimits limits;
+  limits.max_bytes_per_handle = cfg_.platform.max_bytes_per_handle;
+  limits.max_total_bytes = cfg_.platform.max_dmaable_bytes;
+
+  nodes_.reserve(cfg_.nodes);
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    Node nd;
+    nd.space = std::make_unique<mem::AddressSpace>(n);
+    nd.dir = std::make_unique<svd::Directory>(threads());
+    nd.pinned =
+        std::make_unique<mem::PinnedAddressTable>(cfg_.pin_strategy, limits);
+    nd.cache = std::make_unique<AddressCache>(
+        cfg_.cache.full_table ? 0 : cfg_.cache.max_entries);
+    nodes_.push_back(std::move(nd));
+  }
+
+  threads_.reserve(threads());
+  for (ThreadId t = 0; t < threads(); ++t) {
+    const NodeId n = t / cfg_.threads_per_node;
+    const std::uint32_t c = t % cfg_.threads_per_node;
+    threads_.push_back(std::make_unique<UpcThread>(
+        *this, t, n, c, cfg_.seed * 0x9e3779b97f4a7c15ull + t + 1));
+  }
+
+  user_barrier_ = std::make_unique<sim::CyclicBarrier>(sim_, threads());
+  collective_barrier_ = std::make_unique<sim::CyclicBarrier>(sim_, threads());
+  tracer_ = Tracer(cfg_.trace);
+}
+
+Runtime::~Runtime() = default;
+
+namespace {
+Task<void> thread_main(Runtime::ThreadBody body, UpcThread* th,
+                       sim::CountdownLatch* latch) {
+  co_await body(*th);
+  latch->count_down();
+}
+}  // namespace
+
+void Runtime::run(ThreadBody body) {
+  sim::CountdownLatch latch(sim_, threads());
+  for (auto& th : threads_) {
+    sim_.spawn(thread_main(body, th.get(), &latch));
+  }
+  sim_.run();
+  if (latch.remaining() != 0) {
+    throw std::runtime_error(
+        "Runtime::run: deadlock — " + std::to_string(latch.remaining()) +
+        " UPC thread(s) blocked with no pending events");
+  }
+}
+
+Duration Runtime::barrier_cost() const {
+  if (cfg_.nodes <= 1) return sim::us(0.3);
+  std::uint32_t rounds = 0;
+  for (std::uint32_t n = 1; n < cfg_.nodes; n <<= 1) ++rounds;
+  const Duration lat = net::wire_latency(cfg_.platform, 0, cfg_.nodes - 1);
+  return 2 * lat * rounds;
+}
+
+bool Runtime::put_cache_enabled() const {
+  return cfg_.cache.enabled &&
+         cfg_.cache.put_enabled.value_or(cfg_.platform.put_cache_default);
+}
+
+CacheKey Runtime::make_key(const ArrayDesc& a, NodeId remote,
+                           std::uint64_t node_offset) const {
+  const std::uint32_t chunk =
+      cfg_.pin_strategy == mem::PinStrategy::kChunked
+          ? static_cast<std::uint32_t>(node_offset / mem::kPinChunkBytes)
+          : 0;
+  return CacheKey{a.handle.pack(), remote, chunk};
+}
+
+void Runtime::note_put_issued(UpcThread& th) { ++th.outstanding_puts_; }
+
+void Runtime::note_put_completed(ThreadId t) {
+  UpcThread& th = *threads_.at(t);
+  if (th.outstanding_puts_ == 0) {
+    throw std::logic_error("Runtime: put completion without issue");
+  }
+  if (--th.outstanding_puts_ == 0 && th.fence_trigger_) {
+    th.fence_trigger_->fire();
+  }
+}
+
+// ===================================================== allocation ======
+
+Task<ArrayDesc> Runtime::all_alloc_spec(UpcThread& th, LayoutSpec spec) {
+  // Collective allocations synchronize; partitioning then guarantees the
+  // ALL partition stays consistent with the same index on every replica.
+  co_await collective_barrier_->arrive();
+  Node& nd = node(th.node());
+  if (th.core() == 0) {
+    auto layout = std::make_shared<const Layout>(spec, threads(),
+                                                 threads_per_node());
+    svd::ControlBlock cb;
+    cb.kind = svd::ObjectKind::kArray;
+    cb.total_bytes = layout->total_bytes();
+    cb.local_bytes = layout->node_piece_bytes(th.node());
+    cb.local_base = nd.space->allocate(cb.local_bytes);
+    const svd::Handle h = nd.dir->add_local(svd::kAllPartition, th.id(), cb);
+    nd.pending_alloc = ArrayDesc{h, std::move(layout)};
+    if (cfg_.cache.enabled && cfg_.cache.full_table) {
+      publish_bases(th.node(), h);
+    }
+  }
+  co_await machine_.core(th.node(), th.core()).use(cfg_.platform.svd_lookup);
+  co_await collective_barrier_->arrive();
+  ArrayDesc desc = nd.pending_alloc;
+  co_await collective_barrier_->arrive();  // slot may be reused after this
+  co_return desc;
+}
+
+namespace {
+Task<void> control_counted(net::Transport* tr, net::Initiator from,
+                           NodeId dst, net::ControlMsg msg,
+                           sim::CountdownLatch* latch) {
+  co_await tr->control(from, dst, msg);
+  latch->count_down();
+}
+}  // namespace
+
+Task<ArrayDesc> Runtime::global_alloc_spec(UpcThread& th, LayoutSpec spec,
+                                           svd::ObjectKind kind) {
+  auto layout =
+      std::make_shared<const Layout>(spec, threads(), threads_per_node());
+  Node& nd = node(th.node());
+  svd::ControlBlock cb;
+  cb.kind = kind;
+  cb.total_bytes = layout->total_bytes();
+  cb.local_bytes = layout->node_piece_bytes(th.node());
+  cb.local_base = nd.space->allocate(cb.local_bytes);
+  const svd::Handle h = nd.dir->add_local(th.id(), th.id(), cb);
+  co_await machine_.core(th.node(), th.core()).use(cfg_.platform.svd_lookup);
+  if (cfg_.cache.enabled && cfg_.cache.full_table) {
+    publish_bases(th.node(), h);
+  }
+
+  // Announce to every other node; each allocates its local piece. The
+  // paper sends these notifications asynchronously; we gather completion
+  // before returning so remote accesses never race the announcement.
+  if (cfg_.nodes > 1) {
+    sim::CountdownLatch latch(sim_, cfg_.nodes - 1);
+    const net::SvdAllocNotice notice{h.pack(), to_wire(spec),
+                                     static_cast<std::uint8_t>(kind)};
+    for (NodeId n = 0; n < cfg_.nodes; ++n) {
+      if (n == th.node()) continue;
+      sim_.spawn(control_counted(transport_.get(),
+                                 net::Initiator{th.node(), th.core()}, n,
+                                 notice, &latch));
+    }
+    co_await latch.wait();
+  }
+  co_return ArrayDesc{h, std::move(layout)};
+}
+
+void Runtime::materialize_piece(NodeId n, svd::Handle h, const Layout& layout,
+                                svd::ObjectKind kind) {
+  Node& nd = node(n);
+  nd.dir->add_remote(h, layout.total_bytes(), kind);
+  svd::ControlBlock* cb = nd.dir->find(h);
+  cb->local_bytes = layout.node_piece_bytes(n);
+  cb->local_base = nd.space->allocate(cb->local_bytes);
+  if (cfg_.cache.enabled && cfg_.cache.full_table) {
+    publish_bases(n, h);
+  }
+}
+
+void Runtime::publish_bases(NodeId origin, svd::Handle h) {
+  Node& nd = node(origin);
+  const svd::ControlBlock* cb = nd.dir->find(h);
+  if (cb == nullptr || cb->local_base == kNullAddr || cb->local_bytes == 0) {
+    return;
+  }
+  const mem::PinResult pr = nd.pinned->pin(cb->local_base, cb->local_bytes);
+  if (!pr.ok) return;
+  const net::SvdBasePublish msg{h.pack(), origin, cb->local_base, pr.key};
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    if (n == origin) continue;
+    // O(nodes) messages per node per object: the "extensive
+    // communication" cost the SVD design avoids (Sec. 2.1). Delivery is
+    // asynchronous; accesses racing it simply miss and take the AM path.
+    sim_.spawn(transport_->control(net::Initiator{origin, 0}, n, msg));
+  }
+}
+
+void Runtime::do_free(NodeId n, svd::Handle h) {
+  Node& nd = node(n);
+  // Eager invalidation of this node's remote-address cache (Sec. 3.1).
+  nd.cache->invalidate_handle(h.pack());
+  svd::ControlBlock* cb = nd.dir->find(h);
+  if (cb == nullptr) return;
+  if (cb->local_base != kNullAddr) {
+    nd.pinned->unpin(cb->local_base, cb->local_bytes);
+    transport_->reg_cache_mut(n).invalidate(cb->local_base, cb->local_bytes);
+    nd.space->free(cb->local_base);
+  }
+  nd.dir->remove(h);
+}
+
+// ===================================================== data movement ===
+
+Addr Runtime::local_translate(NodeId n, svd::Handle h,
+                              std::uint64_t node_offset, std::size_t len) {
+  const svd::ControlBlock* cb = node(n).dir->find(h);
+  if (cb == nullptr || cb->local_base == kNullAddr) {
+    throw std::logic_error("Runtime: translation failed on node replica");
+  }
+  if (node_offset + len > cb->local_bytes) {
+    throw std::out_of_range("Runtime: access beyond local piece");
+  }
+  return cb->local_base + node_offset;
+}
+
+Task<void> Runtime::get_span(UpcThread& th, const ArrayDesc& a,
+                             Layout::Loc loc, std::span<std::byte> dst) {
+  const auto& p = cfg_.platform;
+  const Layout& layout = *a.layout;
+  const NodeId owner = layout.node_of(loc.thread);
+  const std::uint64_t node_off = layout.node_offset(loc);
+  const std::uint32_t len = static_cast<std::uint32_t>(dst.size());
+  const sim::Time t_start = sim_.now();
+  auto trace = [&](TracePath path) {
+    tracer_.record(
+        TraceEvent{th.id(), TraceOp::kGet, path, owner, len, t_start,
+                   sim_.now()});
+  };
+
+  if (owner == th.node()) {
+    // Shared-local access: SVD translation is a local lookup; data moves
+    // over the node's memory system, no network involved.
+    const bool same_thread = loc.thread == th.id();
+    Duration cost = same_thread ? p.local_access : p.shm_latency;
+    cost += sim::transfer_time(len, p.shm_copy_bw);
+    co_await machine_.core(th.node(), th.core()).use(cost);
+    const Addr addr = local_translate(owner, a.handle, node_off, len);
+    node(owner).space->read(addr, dst);
+    if (same_thread) {
+      ++counters_.local_gets;
+      trace(TracePath::kLocal);
+    } else {
+      ++counters_.shm_gets;
+      trace(TracePath::kShm);
+    }
+    co_return;
+  }
+
+  const net::Initiator from{th.node(), th.core()};
+  const bool use_cache = cfg_.cache.enabled;
+  const CacheKey key = make_key(a, owner, node_off);
+
+  if (use_cache) {
+    co_await machine_.core(th.node(), th.core()).use(p.cache_lookup);
+    if (auto info = node(th.node()).cache->lookup(key)) {
+      const Addr raddr = info->base + node_off;
+      if (len > p.rdma_bounce_limit) {
+        // Zero-copy into the user buffer: it must be registered locally.
+        co_await transport_->ensure_local_registered(
+            from, static_cast<Addr>(reinterpret_cast<std::uintptr_t>(
+                      dst.data())),
+            len);
+      }
+      auto data = co_await transport_->rdma_get(from, owner, raddr, len);
+      if (data) {
+        if (len <= p.rdma_bounce_limit) {
+          // Landed in a preregistered bounce buffer; copy out on the CPU.
+          co_await machine_.core(th.node(), th.core()).use(p.copy_time(len));
+        }
+        std::memcpy(dst.data(), data->data(), len);
+        ++counters_.rdma_gets;
+        trace(TracePath::kRdma);
+        co_return;
+      }
+      // NAK: the target no longer pins that window. Invalidate and fall
+      // back to the default path (which will re-populate the cache).
+      node(th.node()).cache->invalidate(key);
+      ++counters_.rdma_naks;
+    }
+  }
+
+  // Default SVD path (Fig. 3a): AM request, target-side translation, the
+  // reply piggybacks the base address when caching is on.
+  net::GetRequest req;
+  req.svd_handle = a.handle.pack();
+  req.offset = node_off;
+  req.len = len;
+  req.want_base = use_cache;
+  req.target_core = layout.core_of(loc.thread);
+  req.local_buf =
+      static_cast<Addr>(reinterpret_cast<std::uintptr_t>(dst.data()));
+  auto reply = co_await transport_->get(from, owner, std::move(req));
+  if (reply.base && use_cache) {
+    co_await machine_.core(th.node(), th.core()).use(p.cache_update);
+    node(th.node()).cache->insert(key, *reply.base);
+  }
+  std::memcpy(dst.data(), reply.data.data(), len);
+  ++counters_.am_gets;
+  trace(TracePath::kAm);
+}
+
+Task<void> Runtime::put_span(UpcThread& th, const ArrayDesc& a,
+                             Layout::Loc loc,
+                             std::span<const std::byte> src) {
+  const auto& p = cfg_.platform;
+  const Layout& layout = *a.layout;
+  const NodeId owner = layout.node_of(loc.thread);
+  const std::uint64_t node_off = layout.node_offset(loc);
+  const std::uint32_t len = static_cast<std::uint32_t>(src.size());
+  const sim::Time t_start = sim_.now();
+  auto trace = [&](TracePath path) {
+    tracer_.record(
+        TraceEvent{th.id(), TraceOp::kPut, path, owner, len, t_start,
+                   sim_.now()});
+  };
+
+  if (owner == th.node()) {
+    const bool same_thread = loc.thread == th.id();
+    Duration cost = same_thread ? p.local_access : p.shm_latency;
+    cost += sim::transfer_time(len, p.shm_copy_bw);
+    co_await machine_.core(th.node(), th.core()).use(cost);
+    const Addr addr = local_translate(owner, a.handle, node_off, len);
+    node(owner).space->write(addr, src);
+    if (same_thread) {
+      ++counters_.local_puts;
+      trace(TracePath::kLocal);
+    } else {
+      ++counters_.shm_puts;
+      trace(TracePath::kShm);
+    }
+    co_return;
+  }
+
+  const net::Initiator from{th.node(), th.core()};
+  const bool cache_on = put_cache_enabled();
+
+  if (cache_on) {
+    const CacheKey key = make_key(a, owner, node_off);
+    co_await machine_.core(th.node(), th.core()).use(p.cache_lookup);
+    if (auto info = node(th.node()).cache->lookup(key)) {
+      const Addr raddr = info->base + node_off;
+      if (len <= p.rdma_bounce_limit) {
+        // Stage into a preregistered bounce buffer.
+        co_await machine_.core(th.node(), th.core()).use(p.copy_time(len));
+      } else {
+        co_await transport_->ensure_local_registered(
+            from, static_cast<Addr>(reinterpret_cast<std::uintptr_t>(
+                      src.data())),
+            len);
+      }
+      note_put_issued(th);
+      const ThreadId tid = th.id();
+      const bool ok = co_await transport_->rdma_put(
+          from, owner, raddr, {src.begin(), src.end()},
+          [this, tid] { note_put_completed(tid); });
+      if (ok) {
+        ++counters_.rdma_puts;
+        trace(TracePath::kRdma);
+        co_return;
+      }
+      note_put_completed(th.id());  // nothing was issued
+      node(th.node()).cache->invalidate(key);
+      ++counters_.rdma_naks;
+    }
+  }
+
+  net::PutRequest req;
+  req.svd_handle = a.handle.pack();
+  req.offset = node_off;
+  req.data.assign(src.begin(), src.end());
+  req.want_base = cache_on;
+  req.target_core = layout.core_of(loc.thread);
+  req.local_buf =
+      static_cast<Addr>(reinterpret_cast<std::uintptr_t>(src.data()));
+  note_put_issued(th);
+  const ThreadId tid = th.id();
+  const CacheKey key = make_key(a, owner, node_off);
+  const NodeId my_node = th.node();
+  co_await transport_->put(
+      from, owner, std::move(req),
+      [this, tid, key, my_node, cache_on](const net::PutAck& ack) {
+        if (ack.base && cache_on) {
+          node(my_node).cache->insert(key, *ack.base);
+        }
+        note_put_completed(tid);
+      });
+  ++counters_.am_puts;
+  trace(TracePath::kAm);
+}
+
+// ===================================================== AmTarget ========
+
+net::AmTarget::GetServe Runtime::serve_get(NodeId target,
+                                           const net::GetRequest& req) {
+  const svd::Handle h = svd::Handle::unpack(req.svd_handle);
+  const Addr addr = local_translate(target, h, req.offset, req.len);
+  Node& nd = node(target);
+
+  GetServe out;
+  out.data.resize(req.len);
+  nd.space->read(addr, out.data);
+  out.src_addr = addr;
+
+  if (req.want_base) {
+    const svd::ControlBlock* cb = nd.dir->find(h);
+    const mem::PinResult pr =
+        cfg_.pin_strategy == mem::PinStrategy::kGreedy
+            ? nd.pinned->pin(cb->local_base, cb->local_bytes)
+            : nd.pinned->pin(addr, req.len);
+    if (pr.ok) {
+      out.base = net::BaseInfo{cb->local_base, pr.key};
+      out.reg_new_bytes = pr.new_bytes;
+      out.reg_new_handles = pr.new_handles;
+      out.reg_evicted_handles = pr.evicted_handles;
+    }
+  }
+  return out;
+}
+
+net::AmTarget::PutServe Runtime::serve_put(NodeId target,
+                                           net::PutRequest&& req) {
+  const svd::Handle h = svd::Handle::unpack(req.svd_handle);
+  const Addr addr = local_translate(target, h, req.offset, req.data.size());
+  Node& nd = node(target);
+  nd.space->write(addr, req.data);
+
+  PutServe out;
+  out.dst_addr = addr;
+  if (req.want_base) {
+    const svd::ControlBlock* cb = nd.dir->find(h);
+    const mem::PinResult pr =
+        cfg_.pin_strategy == mem::PinStrategy::kGreedy
+            ? nd.pinned->pin(cb->local_base, cb->local_bytes)
+            : nd.pinned->pin(addr, req.data.size());
+    if (pr.ok) {
+      out.base = net::BaseInfo{cb->local_base, pr.key};
+      out.reg_new_bytes = pr.new_bytes;
+      out.reg_new_handles = pr.new_handles;
+      out.reg_evicted_handles = pr.evicted_handles;
+    }
+  }
+  return out;
+}
+
+net::AmTarget::PutServe Runtime::serve_put_rendezvous(
+    NodeId target, const net::PutRequest& req, std::size_t len) {
+  const svd::Handle h = svd::Handle::unpack(req.svd_handle);
+  const Addr addr = local_translate(target, h, req.offset, len);
+  Node& nd = node(target);
+
+  PutServe out;
+  out.dst_addr = addr;
+  if (req.want_base) {
+    const svd::ControlBlock* cb = nd.dir->find(h);
+    const mem::PinResult pr =
+        cfg_.pin_strategy == mem::PinStrategy::kGreedy
+            ? nd.pinned->pin(cb->local_base, cb->local_bytes)
+            : nd.pinned->pin(addr, len);
+    if (pr.ok) {
+      out.base = net::BaseInfo{cb->local_base, pr.key};
+      out.reg_new_bytes = pr.new_bytes;
+      out.reg_new_handles = pr.new_handles;
+      out.reg_evicted_handles = pr.evicted_handles;
+    }
+  }
+  return out;
+}
+
+void Runtime::deliver_put_payload(NodeId target, std::uint64_t svd_handle,
+                                  std::uint64_t offset,
+                                  std::vector<std::byte>&& data) {
+  const svd::Handle h = svd::Handle::unpack(svd_handle);
+  const Addr addr = local_translate(target, h, offset, data.size());
+  node(target).space->write(addr, data);
+}
+
+std::byte* Runtime::rdma_memory(NodeId target, Addr addr, std::size_t len) {
+  Node& nd = node(target);
+  if (!nd.space->contains(addr, len)) {
+    throw net::RdmaProtocolError("RDMA to invalid remote address");
+  }
+  if (!nd.pinned->is_pinned(addr, len)) {
+    return nullptr;  // NAK — window not pinned
+  }
+  return nd.space->data(addr, len);
+}
+
+void Runtime::serve_control(NodeId target, NodeId source,
+                            const net::ControlMsg& msg) {
+  (void)source;
+  if (const auto* alloc = std::get_if<net::SvdAllocNotice>(&msg)) {
+    const Layout layout(from_wire(alloc->layout), threads(),
+                        threads_per_node());
+    materialize_piece(target, svd::Handle::unpack(alloc->svd_handle), layout,
+                      static_cast<svd::ObjectKind>(alloc->kind));
+  } else if (const auto* free_n = std::get_if<net::SvdFreeNotice>(&msg)) {
+    do_free(target, svd::Handle::unpack(free_n->svd_handle));
+  } else if (const auto* pub = std::get_if<net::SvdBasePublish>(&msg)) {
+    node(target).cache->insert(
+        CacheKey{pub->svd_handle, pub->origin, 0},
+        net::BaseInfo{pub->base, pub->key});
+  } else if (const auto* amo = std::get_if<net::AtomicFetchAdd>(&msg)) {
+    amo_at_home(target, *amo);
+  } else if (const auto* ares = std::get_if<net::AtomicResult>(&msg)) {
+    UpcThread& waiter = *threads_.at(ares->requester);
+    if (!waiter.amo_wait_) {
+      throw std::logic_error("Runtime: atomic result with no waiter");
+    }
+    waiter.amo_wait_->set(ares->value);
+  } else if (const auto* lreq = std::get_if<net::LockRequest>(&msg)) {
+    lock_request_at_home(target, lreq->svd_handle, lreq->requester);
+  } else if (const auto* grant = std::get_if<net::LockGrant>(&msg)) {
+    UpcThread& waiter = *threads_.at(grant->requester);
+    if (!waiter.lock_wait_) {
+      throw std::logic_error("Runtime: lock grant with no waiter");
+    }
+    waiter.lock_wait_->set(grant->granted);
+  } else if (const auto* rel = std::get_if<net::LockRelease>(&msg)) {
+    lock_release_at_home(target, rel->svd_handle, rel->holder);
+  }
+}
+
+// ===================================================== atomics =========
+
+void Runtime::amo_at_home(NodeId home_node, const net::AtomicFetchAdd& op) {
+  const Addr addr = local_translate(home_node, svd::Handle::unpack(op.svd_handle),
+                                    op.offset, sizeof(std::uint64_t));
+  Node& nd = node(home_node);
+  const auto old = nd.space->load<std::uint64_t>(addr);
+  nd.space->store<std::uint64_t>(addr, old + op.delta);
+  const NodeId req_node = op.requester / cfg_.threads_per_node;
+  if (req_node == home_node) {
+    UpcThread& waiter = *threads_.at(op.requester);
+    if (!waiter.amo_wait_) {
+      throw std::logic_error("Runtime: local atomic with no waiter");
+    }
+    waiter.amo_wait_->set(old);
+    return;
+  }
+  sim_.spawn(transport_->control(net::Initiator{home_node, 0}, req_node,
+                                 net::AtomicResult{op.requester, old}));
+}
+
+// ===================================================== locks ===========
+
+void Runtime::grant_lock(NodeId home_node, std::uint64_t handle,
+                         ThreadId requester) {
+  const NodeId req_node = requester / cfg_.threads_per_node;
+  if (req_node == home_node) {
+    UpcThread& waiter = *threads_.at(requester);
+    if (!waiter.lock_wait_) {
+      throw std::logic_error("Runtime: local lock grant with no waiter");
+    }
+    waiter.lock_wait_->set(true);
+    return;
+  }
+  sim_.spawn(transport_->control(net::Initiator{home_node, 0}, req_node,
+                                 net::LockGrant{handle, requester, true}));
+}
+
+void Runtime::lock_request_at_home(NodeId home_node, std::uint64_t handle,
+                                   ThreadId requester) {
+  LockState& st = node(home_node).locks[handle];
+  if (!st.held) {
+    st.held = true;
+    st.holder = requester;
+    grant_lock(home_node, handle, requester);
+  } else {
+    st.waiters.push_back(requester);
+  }
+}
+
+void Runtime::lock_release_at_home(NodeId home_node, std::uint64_t handle,
+                                   ThreadId holder) {
+  LockState& st = node(home_node).locks[handle];
+  if (!st.held || st.holder != holder) {
+    throw std::logic_error("Runtime: unlock by non-holder");
+  }
+  if (!st.waiters.empty()) {
+    const ThreadId next = st.waiters.front();
+    st.waiters.pop_front();
+    st.holder = next;
+    grant_lock(home_node, handle, next);
+  } else {
+    st.held = false;
+  }
+}
+
+// ===================================================== debug access ====
+
+void Runtime::debug_read(const ArrayDesc& a, std::uint64_t elem,
+                         std::span<std::byte> out) {
+  const auto loc = a.layout->locate(elem);
+  const NodeId owner = a.layout->node_of(loc.thread);
+  const Addr addr = local_translate(owner, a.handle, a.layout->node_offset(loc),
+                                    out.size());
+  node(owner).space->read(addr, out);
+}
+
+void Runtime::debug_write(const ArrayDesc& a, std::uint64_t elem,
+                          std::span<const std::byte> in) {
+  const auto loc = a.layout->locate(elem);
+  const NodeId owner = a.layout->node_of(loc.thread);
+  const Addr addr = local_translate(owner, a.handle, a.layout->node_offset(loc),
+                                    in.size());
+  node(owner).space->write(addr, in);
+}
+
+void Runtime::warm_address_cache(const ArrayDesc& a) {
+  if (!cfg_.cache.enabled) return;
+  const std::uint64_t handle = a.handle.pack();
+  for (NodeId target = 0; target < cfg_.nodes; ++target) {
+    Node& tn = node(target);
+    const svd::ControlBlock* cb = tn.dir->find(a.handle);
+    if (cb == nullptr || cb->local_base == kNullAddr || cb->local_bytes == 0) {
+      continue;
+    }
+    const mem::PinResult pr = tn.pinned->pin(cb->local_base, cb->local_bytes);
+    if (!pr.ok) continue;
+    const std::uint32_t chunks =
+        cfg_.pin_strategy == mem::PinStrategy::kChunked
+            ? static_cast<std::uint32_t>(
+                  (cb->local_bytes + mem::kPinChunkBytes - 1) /
+                  mem::kPinChunkBytes)
+            : 1;
+    for (NodeId init = 0; init < cfg_.nodes; ++init) {
+      if (init == target) continue;
+      for (std::uint32_t c = 0; c < chunks; ++c) {
+        node(init).cache->insert(CacheKey{handle, target, c},
+                                 net::BaseInfo{cb->local_base, pr.key});
+      }
+    }
+  }
+  for (NodeId n = 0; n < cfg_.nodes; ++n) node(n).cache->reset_stats();
+}
+
+// ===================================================== UpcThread =======
+
+sim::Time UpcThread::now() const { return rt_->sim_.now(); }
+
+Task<void> UpcThread::compute(Duration d) {
+  co_await rt_->machine_.core(node_, core_).use(d);
+}
+
+Task<void> UpcThread::fence() {
+  while (outstanding_puts_ > 0) {
+    fence_trigger_ = std::make_unique<sim::Trigger>(rt_->sim_);
+    co_await fence_trigger_->wait();
+    fence_trigger_.reset();
+  }
+}
+
+Task<void> UpcThread::barrier() {
+  const sim::Time t_start = rt_->sim_.now();
+  co_await fence();
+  co_await rt_->user_barrier_->arrive();
+  co_await rt_->sim_.delay(rt_->barrier_cost());
+  rt_->tracer_.record(TraceEvent{id_, TraceOp::kBarrier, TracePath::kNone, 0,
+                                 0, t_start, rt_->sim_.now()});
+}
+
+Task<ArrayDesc> UpcThread::all_alloc(std::uint64_t nelems,
+                                     std::uint64_t elem_size,
+                                     std::uint64_t block) {
+  LayoutSpec spec;
+  spec.dims = 1;
+  spec.elem_size = elem_size;
+  spec.extent[0] = nelems;
+  spec.block[0] = block;
+  return rt_->all_alloc_spec(*this, spec);
+}
+
+Task<ArrayDesc> UpcThread::all_alloc2d(std::uint64_t rows, std::uint64_t cols,
+                                       std::uint64_t elem_size,
+                                       std::uint64_t block_rows,
+                                       std::uint64_t block_cols) {
+  LayoutSpec spec;
+  spec.dims = 2;
+  spec.elem_size = elem_size;
+  spec.extent[0] = rows;
+  spec.extent[1] = cols;
+  spec.block[0] = block_rows;
+  spec.block[1] = block_cols;
+  return rt_->all_alloc_spec(*this, spec);
+}
+
+Task<ArrayDesc> UpcThread::global_alloc(std::uint64_t nelems,
+                                        std::uint64_t elem_size,
+                                        std::uint64_t block) {
+  LayoutSpec spec;
+  spec.dims = 1;
+  spec.elem_size = elem_size;
+  spec.extent[0] = nelems;
+  spec.block[0] = block;
+  return rt_->global_alloc_spec(*this, spec, svd::ObjectKind::kArray);
+}
+
+Task<void> UpcThread::free_array(ArrayDesc desc) {
+  rt_->do_free(node_, desc.handle);
+  if (rt_->cfg_.nodes > 1) {
+    sim::CountdownLatch latch(rt_->sim_, rt_->cfg_.nodes - 1);
+    for (NodeId n = 0; n < rt_->cfg_.nodes; ++n) {
+      if (n == node_) continue;
+      rt_->sim_.spawn(control_counted(
+          rt_->transport_.get(), net::Initiator{node_, core_}, n,
+          net::SvdFreeNotice{desc.handle.pack()}, &latch));
+    }
+    co_await latch.wait();
+  }
+  co_await rt_->machine_.core(node_, core_).use(rt_->cfg_.platform.svd_lookup);
+}
+
+Task<void> UpcThread::get(const ArrayDesc& a, std::uint64_t elem,
+                          std::span<std::byte> dst) {
+  const Layout& layout = *a.layout;
+  const std::uint64_t n = dst.size() / layout.elem_size();
+  if (n * layout.elem_size() != dst.size() || n == 0) {
+    throw std::invalid_argument("get: span must hold whole elements");
+  }
+  if (n > layout.run_length(elem)) {
+    throw std::invalid_argument("get: span crosses ownership boundary");
+  }
+  co_await rt_->get_span(*this, a, layout.locate(elem), dst);
+}
+
+Task<void> UpcThread::put(const ArrayDesc& a, std::uint64_t elem,
+                          std::span<const std::byte> src) {
+  const Layout& layout = *a.layout;
+  const std::uint64_t n = src.size() / layout.elem_size();
+  if (n * layout.elem_size() != src.size() || n == 0) {
+    throw std::invalid_argument("put: span must hold whole elements");
+  }
+  if (n > layout.run_length(elem)) {
+    throw std::invalid_argument("put: span crosses ownership boundary");
+  }
+  co_await rt_->put_span(*this, a, layout.locate(elem), src);
+}
+
+Task<void> UpcThread::memget(const ArrayDesc& a, std::uint64_t elem_start,
+                             std::span<std::byte> dst) {
+  const Layout& layout = *a.layout;
+  const std::uint64_t es = layout.elem_size();
+  std::uint64_t total = dst.size() / es;
+  if (total * es != dst.size()) {
+    throw std::invalid_argument("memget: span must hold whole elements");
+  }
+  std::uint64_t elem = elem_start;
+  std::size_t off = 0;
+  while (total > 0) {
+    const std::uint64_t run = std::min(total, layout.run_length(elem));
+    co_await get(a, elem, dst.subspan(off, run * es));
+    elem += run;
+    off += run * es;
+    total -= run;
+  }
+}
+
+Task<void> UpcThread::memput(const ArrayDesc& a, std::uint64_t elem_start,
+                             std::span<const std::byte> src) {
+  const Layout& layout = *a.layout;
+  const std::uint64_t es = layout.elem_size();
+  std::uint64_t total = src.size() / es;
+  if (total * es != src.size()) {
+    throw std::invalid_argument("memput: span must hold whole elements");
+  }
+  std::uint64_t elem = elem_start;
+  std::size_t off = 0;
+  while (total > 0) {
+    const std::uint64_t run = std::min(total, layout.run_length(elem));
+    co_await put(a, elem, src.subspan(off, run * es));
+    elem += run;
+    off += run * es;
+    total -= run;
+  }
+}
+
+Task<void> UpcThread::memcpy_shared(const ArrayDesc& dst,
+                                    std::uint64_t dst_elem,
+                                    const ArrayDesc& src,
+                                    std::uint64_t src_elem,
+                                    std::uint64_t count) {
+  if (dst.layout->elem_size() != src.layout->elem_size()) {
+    throw std::invalid_argument(
+        "memcpy_shared: element sizes must match");
+  }
+  const std::uint64_t es = src.layout->elem_size();
+  std::vector<std::byte> staging;
+  while (count > 0) {
+    // Chunk by the smaller of the two run lengths so each transfer is
+    // contiguous on its owner at both ends.
+    const std::uint64_t run =
+        std::min({count, src.layout->run_length(src_elem),
+                  dst.layout->run_length(dst_elem)});
+    staging.resize(run * es);
+    co_await get(src, src_elem, staging);
+    co_await put(dst, dst_elem, staging);
+    src_elem += run;
+    dst_elem += run;
+    count -= run;
+  }
+}
+
+Task<void> UpcThread::get2d(const ArrayDesc& a, std::uint64_t r,
+                            std::uint64_t c, std::span<std::byte> dst) {
+  const Layout& layout = *a.layout;
+  const std::uint64_t es = layout.elem_size();
+  const std::uint64_t n = dst.size() / es;
+  const std::uint64_t bc = layout.spec().block[1];
+  if (n == 0 || n * es != dst.size() || n > bc - (c % bc)) {
+    throw std::invalid_argument("get2d: span must stay within a tile row");
+  }
+  co_await rt_->get_span(*this, a, layout.locate2d(r, c), dst);
+}
+
+Task<void> UpcThread::put2d(const ArrayDesc& a, std::uint64_t r,
+                            std::uint64_t c, std::span<const std::byte> src) {
+  const Layout& layout = *a.layout;
+  const std::uint64_t es = layout.elem_size();
+  const std::uint64_t n = src.size() / es;
+  const std::uint64_t bc = layout.spec().block[1];
+  if (n == 0 || n * es != src.size() || n > bc - (c % bc)) {
+    throw std::invalid_argument("put2d: span must stay within a tile row");
+  }
+  co_await rt_->put_span(*this, a, layout.locate2d(r, c), src);
+}
+
+Task<std::uint64_t> UpcThread::fetch_add(const ArrayDesc& a,
+                                         std::uint64_t elem,
+                                         std::uint64_t delta) {
+  const Layout& layout = *a.layout;
+  if (layout.elem_size() != sizeof(std::uint64_t)) {
+    throw std::invalid_argument("fetch_add: element size must be 8 bytes");
+  }
+  const auto loc = layout.locate(elem);
+  const NodeId home_node = layout.node_of(loc.thread);
+  const net::AtomicFetchAdd op{a.handle.pack(), layout.node_offset(loc),
+                               delta, id_};
+  amo_wait_ = std::make_unique<sim::Future<std::uint64_t>>(rt_->sim_);
+  if (home_node == node_) {
+    // Local fast path: still serialized through the home-side handler
+    // logic, charged as a local access.
+    co_await rt_->machine_.core(node_, core_).use(
+        rt_->cfg_.platform.local_access);
+    rt_->amo_at_home(home_node, op);
+  } else {
+    co_await rt_->transport_->control(net::Initiator{node_, core_}, home_node,
+                                      op);
+  }
+  const std::uint64_t old = co_await amo_wait_->get();
+  amo_wait_.reset();
+  co_return old;
+}
+
+Task<LockDesc> UpcThread::lock_alloc() {
+  svd::ControlBlock cb;
+  cb.kind = svd::ObjectKind::kLock;
+  cb.total_bytes = 0;
+  cb.local_base = kNullAddr;
+  cb.local_bytes = 0;
+  const svd::Handle h = rt_->node(node_).dir->add_local(id_, id_, cb);
+  co_await rt_->machine_.core(node_, core_).use(rt_->cfg_.platform.svd_lookup);
+  co_return LockDesc{h, id_};
+}
+
+Task<void> UpcThread::lock(const LockDesc& lk) {
+  const NodeId home_node = lk.home / rt_->cfg_.threads_per_node;
+  lock_wait_ = std::make_unique<sim::Future<bool>>(rt_->sim_);
+  if (home_node == node_) {
+    co_await rt_->machine_.core(node_, core_).use(
+        rt_->cfg_.platform.local_access);
+    rt_->lock_request_at_home(home_node, lk.handle.pack(), id_);
+  } else {
+    co_await rt_->transport_->control(
+        net::Initiator{node_, core_}, home_node,
+        net::LockRequest{lk.handle.pack(), id_, false});
+  }
+  co_await lock_wait_->get();
+  lock_wait_.reset();
+}
+
+Task<void> UpcThread::unlock(const LockDesc& lk) {
+  const NodeId home_node = lk.home / rt_->cfg_.threads_per_node;
+  if (home_node == node_) {
+    co_await rt_->machine_.core(node_, core_).use(
+        rt_->cfg_.platform.local_access);
+    rt_->lock_release_at_home(home_node, lk.handle.pack(), id_);
+  } else {
+    co_await rt_->transport_->control(net::Initiator{node_, core_}, home_node,
+                                      net::LockRelease{lk.handle.pack(), id_});
+  }
+}
+
+ThreadId UpcThread::threadof(const ArrayDesc& a, std::uint64_t i) const {
+  return a.layout->locate(i).thread;
+}
+
+std::uint64_t UpcThread::phaseof(const ArrayDesc& a, std::uint64_t i) const {
+  return i % a.layout->block_factor();
+}
+
+NodeId UpcThread::nodeof(const ArrayDesc& a, std::uint64_t i) const {
+  return a.layout->node_of(a.layout->locate(i).thread);
+}
+
+}  // namespace xlupc::core

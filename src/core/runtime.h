@@ -1,0 +1,326 @@
+// The XLUPC-style PGAS runtime (paper Sec. 2) with the remote address
+// cache optimization (Sec. 3).
+//
+// A Runtime owns a simulated cluster (Machine), one SVD replica, address
+// space, pinned-address table and remote address cache per node, and the
+// messaging transport. UPC threads are coroutines: `Runtime::run` spawns
+// THREADS of them and drives the discrete-event simulation to completion.
+//
+// Every remote access follows the paper's protocol: probe the address
+// cache; on a hit compute base+offset locally and issue a native RDMA
+// operation (no remote CPU); on a miss use the default Active-Message
+// path, which piggybacks the remote base address on the reply/ACK to
+// populate the cache for subsequent accesses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/address_cache.h"
+#include "core/api.h"
+#include "core/trace.h"
+#include "mem/address_space.h"
+#include "mem/pinned_table.h"
+#include "net/machine.h"
+#include "net/transport.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "svd/directory.h"
+
+namespace xlupc::core {
+
+class Runtime;
+
+/// Execution context of one UPC thread. All operations are awaitable and
+/// advance simulated time; they must only be called from within the
+/// thread's own coroutine body.
+class UpcThread {
+ public:
+  UpcThread(Runtime& rt, ThreadId id, NodeId node, std::uint32_t core,
+            std::uint64_t seed)
+      : rt_(&rt), id_(id), node_(node), core_(core), rng_(seed) {}
+  UpcThread(const UpcThread&) = delete;
+  UpcThread& operator=(const UpcThread&) = delete;
+
+  ThreadId id() const noexcept { return id_; }
+  NodeId node() const noexcept { return node_; }
+  std::uint32_t core() const noexcept { return core_; }
+  sim::Rng& rng() noexcept { return rng_; }
+  Runtime& runtime() noexcept { return *rt_; }
+  sim::Time now() const;
+
+  // --- synchronization ---
+  sim::Task<void> barrier();  ///< upc_barrier (implies fence)
+  sim::Task<void> fence();    ///< wait for remote completion of my PUTs
+  sim::Task<void> compute(sim::Duration d);  ///< occupy my core for `d`
+
+  // --- allocation (upc_all_alloc / upc_global_alloc / upc_free) ---
+  sim::Task<ArrayDesc> all_alloc(std::uint64_t nelems, std::uint64_t elem_size,
+                                 std::uint64_t block = 0);
+  sim::Task<ArrayDesc> all_alloc2d(std::uint64_t rows, std::uint64_t cols,
+                                   std::uint64_t elem_size,
+                                   std::uint64_t block_rows,
+                                   std::uint64_t block_cols);
+  sim::Task<ArrayDesc> global_alloc(std::uint64_t nelems,
+                                    std::uint64_t elem_size,
+                                    std::uint64_t block = 0);
+  sim::Task<void> free_array(ArrayDesc desc);
+
+  // --- data movement ---
+  /// GET elements starting at `elem` into `dst`; the span must not cross
+  /// an ownership boundary (use memget for arbitrary spans).
+  sim::Task<void> get(const ArrayDesc& a, std::uint64_t elem,
+                      std::span<std::byte> dst);
+  /// PUT `src` at `elem`; same contiguity requirement as get().
+  sim::Task<void> put(const ArrayDesc& a, std::uint64_t elem,
+                      std::span<const std::byte> src);
+  /// upc_memget: arbitrary element range, split at ownership boundaries.
+  sim::Task<void> memget(const ArrayDesc& a, std::uint64_t elem_start,
+                         std::span<std::byte> dst);
+  /// upc_memput.
+  sim::Task<void> memput(const ArrayDesc& a, std::uint64_t elem_start,
+                         std::span<const std::byte> src);
+  /// upc_memcpy: shared-to-shared copy, split at the ownership
+  /// boundaries of both arrays (pulls through a private staging buffer,
+  /// as the XLUPC runtime's generic path does).
+  sim::Task<void> memcpy_shared(const ArrayDesc& dst, std::uint64_t dst_elem,
+                                const ArrayDesc& src, std::uint64_t src_elem,
+                                std::uint64_t count);
+  /// 2-D element access (multi-blocked arrays).
+  sim::Task<void> get2d(const ArrayDesc& a, std::uint64_t r, std::uint64_t c,
+                        std::span<std::byte> dst);
+  sim::Task<void> put2d(const ArrayDesc& a, std::uint64_t r, std::uint64_t c,
+                        std::span<const std::byte> src);
+
+  template <class T>
+  sim::Task<T> read(const ArrayDesc& a, std::uint64_t i);
+  template <class T>
+  sim::Task<void> write(const ArrayDesc& a, std::uint64_t i, T v);
+  /// Strict (UPC `strict`) accesses: a strict write completes remotely
+  /// before the thread proceeds; a strict read completes all previous
+  /// writes of this thread first. Relaxed accesses (`read`/`write`) only
+  /// guarantee completion at fences/barriers.
+  template <class T>
+  sim::Task<void> write_strict(const ArrayDesc& a, std::uint64_t i, T v);
+  template <class T>
+  sim::Task<T> read_strict(const ArrayDesc& a, std::uint64_t i);
+  template <class T>
+  sim::Task<T> read2d(const ArrayDesc& a, std::uint64_t r, std::uint64_t c);
+  template <class T>
+  sim::Task<void> write2d(const ArrayDesc& a, std::uint64_t r,
+                          std::uint64_t c, T v);
+
+  // --- atomics ---
+  /// Atomic fetch-and-add of a 64-bit slot, executed at the element's
+  /// home node (remote atomics never race: the home's handler applies
+  /// them one at a time). Returns the value before the addition.
+  sim::Task<std::uint64_t> fetch_add(const ArrayDesc& a, std::uint64_t elem,
+                                     std::uint64_t delta);
+
+  // --- locks (upc_lock) ---
+  sim::Task<LockDesc> lock_alloc();
+  sim::Task<void> lock(const LockDesc& lk);
+  sim::Task<void> unlock(const LockDesc& lk);
+
+  // --- UPC intrinsics (pure, no simulated time) ---
+  ThreadId threadof(const ArrayDesc& a, std::uint64_t i) const;
+  std::uint64_t phaseof(const ArrayDesc& a, std::uint64_t i) const;
+  NodeId nodeof(const ArrayDesc& a, std::uint64_t i) const;
+
+ private:
+  friend class Runtime;
+
+  Runtime* rt_;
+  ThreadId id_;
+  NodeId node_;
+  std::uint32_t core_;
+  sim::Rng rng_;
+
+  // PUT remote-completion tracking for fence().
+  std::uint64_t outstanding_puts_ = 0;
+  std::unique_ptr<sim::Trigger> fence_trigger_;
+  // One outstanding lock wait at a time.
+  std::unique_ptr<sim::Future<bool>> lock_wait_;
+  // One outstanding atomic at a time.
+  std::unique_ptr<sim::Future<std::uint64_t>> amo_wait_;
+};
+
+class Runtime final : public net::AmTarget {
+ public:
+  explicit Runtime(RuntimeConfig cfg);
+  ~Runtime() override;
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  using ThreadBody = std::function<sim::Task<void>(UpcThread&)>;
+
+  /// Spawn one coroutine per UPC thread and run the simulation until all
+  /// complete. Throws on deadlock (threads left suspended with no events).
+  void run(ThreadBody body);
+
+  // --- introspection ---
+  const RuntimeConfig& config() const noexcept { return cfg_; }
+  std::uint32_t threads() const noexcept { return cfg_.threads(); }
+  std::uint32_t nodes() const noexcept { return cfg_.nodes; }
+  std::uint32_t threads_per_node() const noexcept {
+    return cfg_.threads_per_node;
+  }
+  sim::Simulator& simulator() noexcept { return sim_; }
+  net::Machine& machine() noexcept { return machine_; }
+  net::Transport& transport() noexcept { return *transport_; }
+  sim::Time elapsed() const noexcept { return sim_.now(); }
+
+  AddressCache& cache(NodeId n) { return *node(n).cache; }
+  mem::PinnedAddressTable& pinned(NodeId n) { return *node(n).pinned; }
+  mem::AddressSpace& memory(NodeId n) { return *node(n).space; }
+  svd::Directory& directory(NodeId n) { return *node(n).dir; }
+  const OpCounters& counters() const noexcept { return counters_; }
+  UpcThread& thread(ThreadId t) { return *threads_.at(t); }
+  Tracer& tracer() noexcept { return tracer_; }
+  const Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Zero-time direct access to array storage, for tests and validation.
+  void debug_read(const ArrayDesc& a, std::uint64_t elem,
+                  std::span<std::byte> out);
+  void debug_write(const ArrayDesc& a, std::uint64_t elem,
+                   std::span<const std::byte> in);
+
+  /// Bring the address caches and pinned tables to steady state for `a`
+  /// in zero simulated time: every node's cache learns every other node's
+  /// base address and the pieces are pinned, as they would be after a
+  /// long warm-up phase. Used by experiments that (like the paper's)
+  /// measure steady-state behaviour, not cold-start population. No-op
+  /// when the cache is disabled. Statistics are reset afterwards.
+  void warm_address_cache(const ArrayDesc& a);
+
+  // --- AmTarget (target-side handlers, invoked by the transport) ---
+  GetServe serve_get(NodeId target, const net::GetRequest& req) override;
+  PutServe serve_put(NodeId target, net::PutRequest&& req) override;
+  PutServe serve_put_rendezvous(NodeId target, const net::PutRequest& req,
+                                std::size_t len) override;
+  void deliver_put_payload(NodeId target, std::uint64_t svd_handle,
+                           std::uint64_t offset,
+                           std::vector<std::byte>&& data) override;
+  void serve_control(NodeId target, NodeId source,
+                     const net::ControlMsg& msg) override;
+  std::byte* rdma_memory(NodeId target, Addr addr, std::size_t len) override;
+
+ private:
+  friend class UpcThread;
+
+  struct LockState {
+    bool held = false;
+    ThreadId holder = 0;
+    std::deque<ThreadId> waiters;
+  };
+
+  struct Node {
+    std::unique_ptr<mem::AddressSpace> space;
+    std::unique_ptr<svd::Directory> dir;
+    std::unique_ptr<mem::PinnedAddressTable> pinned;
+    std::unique_ptr<AddressCache> cache;
+    std::unordered_map<std::uint64_t, LockState> locks;  // homed here
+    ArrayDesc pending_alloc;  // collective publication slot
+  };
+
+  Node& node(NodeId n) { return nodes_.at(n); }
+
+  // Allocation plumbing.
+  sim::Task<ArrayDesc> all_alloc_spec(UpcThread& th, LayoutSpec spec);
+  sim::Task<ArrayDesc> global_alloc_spec(UpcThread& th, LayoutSpec spec,
+                                         svd::ObjectKind kind);
+  void materialize_piece(NodeId n, svd::Handle h, const Layout& layout,
+                         svd::ObjectKind kind);
+  // Full-table mode: broadcast this node's base address for `h` to every
+  // other node's table (charged control messages; pieces pinned first).
+  void publish_bases(NodeId origin, svd::Handle h);
+  void do_free(NodeId n, svd::Handle h);
+
+  // Data-movement plumbing.
+  sim::Task<void> get_span(UpcThread& th, const ArrayDesc& a, Layout::Loc loc,
+                           std::span<std::byte> dst);
+  sim::Task<void> put_span(UpcThread& th, const ArrayDesc& a, Layout::Loc loc,
+                           std::span<const std::byte> src);
+  Addr local_translate(NodeId n, svd::Handle h, std::uint64_t node_offset,
+                       std::size_t len);
+  bool put_cache_enabled() const;
+  CacheKey make_key(const ArrayDesc& a, NodeId remote,
+                    std::uint64_t node_offset) const;
+  void note_put_issued(UpcThread& th);
+  void note_put_completed(ThreadId th);
+
+  // Locks.
+  // Apply a fetch-add at the home node and route the old value back.
+  void amo_at_home(NodeId home_node, const net::AtomicFetchAdd& op);
+  void lock_request_at_home(NodeId home_node, std::uint64_t handle,
+                            ThreadId requester);
+  void lock_release_at_home(NodeId home_node, std::uint64_t handle,
+                            ThreadId holder);
+  void grant_lock(NodeId home_node, std::uint64_t handle, ThreadId requester);
+
+  // Barrier cost model: a dissemination barrier pays ~log2(nodes)
+  // exchange rounds of wire latency.
+  sim::Duration barrier_cost() const;
+
+  RuntimeConfig cfg_;
+  sim::Simulator sim_;
+  net::Machine machine_;
+  std::unique_ptr<net::Transport> transport_;
+  std::vector<Node> nodes_;
+  std::vector<std::unique_ptr<UpcThread>> threads_;
+  std::unique_ptr<sim::CyclicBarrier> user_barrier_;
+  std::unique_ptr<sim::CyclicBarrier> collective_barrier_;
+  OpCounters counters_;
+  Tracer tracer_;
+};
+
+// --- templated helpers -------------------------------------------------
+
+template <class T>
+sim::Task<T> UpcThread::read(const ArrayDesc& a, std::uint64_t i) {
+  T v{};
+  co_await get(a, i, std::as_writable_bytes(std::span(&v, 1)));
+  co_return v;
+}
+
+template <class T>
+sim::Task<void> UpcThread::write(const ArrayDesc& a, std::uint64_t i, T v) {
+  co_await put(a, i, std::as_bytes(std::span(&v, 1)));
+}
+
+template <class T>
+sim::Task<void> UpcThread::write_strict(const ArrayDesc& a, std::uint64_t i,
+                                        T v) {
+  co_await write<T>(a, i, v);
+  co_await fence();
+}
+
+template <class T>
+sim::Task<T> UpcThread::read_strict(const ArrayDesc& a, std::uint64_t i) {
+  co_await fence();
+  co_return co_await read<T>(a, i);
+}
+
+template <class T>
+sim::Task<T> UpcThread::read2d(const ArrayDesc& a, std::uint64_t r,
+                               std::uint64_t c) {
+  T v{};
+  co_await get2d(a, r, c, std::as_writable_bytes(std::span(&v, 1)));
+  co_return v;
+}
+
+template <class T>
+sim::Task<void> UpcThread::write2d(const ArrayDesc& a, std::uint64_t r,
+                                   std::uint64_t c, T v) {
+  co_await put2d(a, r, c, std::as_bytes(std::span(&v, 1)));
+}
+
+}  // namespace xlupc::core

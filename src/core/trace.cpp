@@ -1,0 +1,77 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace xlupc::core {
+
+const char* to_string(TraceOp op) {
+  switch (op) {
+    case TraceOp::kGet:
+      return "get";
+    case TraceOp::kPut:
+      return "put";
+    case TraceOp::kBarrier:
+      return "barrier";
+    case TraceOp::kLock:
+      return "lock";
+  }
+  return "?";
+}
+
+const char* to_string(TracePath path) {
+  switch (path) {
+    case TracePath::kLocal:
+      return "local";
+    case TracePath::kShm:
+      return "shm";
+    case TracePath::kAm:
+      return "am";
+    case TracePath::kRdma:
+      return "rdma";
+    case TracePath::kNone:
+      return "-";
+  }
+  return "?";
+}
+
+TraceSummary Tracer::summarize() const {
+  TraceSummary summary;
+  for (const TraceEvent& ev : events_) {
+    auto& line = summary.lines[{ev.op, ev.path}];
+    ++line.count;
+    const double d = ev.duration_us();
+    line.total_us += d;
+    line.max_us = std::max(line.max_us, d);
+  }
+  for (auto& [key, line] : summary.lines) {
+    line.mean_us = line.total_us / static_cast<double>(line.count);
+  }
+  return summary;
+}
+
+void Tracer::dump_csv(std::ostream& os) const {
+  os << "thread,op,path,target,bytes,start_us,end_us,duration_us\n";
+  for (const TraceEvent& ev : events_) {
+    os << ev.thread << ',' << to_string(ev.op) << ',' << to_string(ev.path)
+       << ',' << ev.target << ',' << ev.bytes << ',' << sim::to_us(ev.start)
+       << ',' << sim::to_us(ev.end) << ',' << ev.duration_us() << '\n';
+  }
+}
+
+void Tracer::print_summary(std::ostream& os) const {
+  const TraceSummary summary = summarize();
+  os << std::left << std::setw(9) << "op" << std::setw(7) << "path"
+     << std::right << std::setw(9) << "count" << std::setw(12) << "mean us"
+     << std::setw(12) << "max us" << std::setw(13) << "total us" << '\n';
+  for (const auto& [key, line] : summary.lines) {
+    os << std::left << std::setw(9) << to_string(key.first) << std::setw(7)
+       << to_string(key.second) << std::right << std::setw(9) << line.count
+       << std::setw(12) << std::fixed << std::setprecision(2) << line.mean_us
+       << std::setw(12) << line.max_us << std::setw(13) << line.total_us
+       << '\n';
+  }
+}
+
+}  // namespace xlupc::core

@@ -1,0 +1,92 @@
+// Execution tracing — the observability substitute for the Paraver
+// analysis the paper used on the Field Stressmark (Sec. 4.6: "The trace
+// showed that the remote GET and PUT access times at the overhangs were
+// abnormally large when the address cache was not in use").
+//
+// When RuntimeConfig::trace is set, every data-movement operation is
+// recorded with its thread, target, byte count, service path and
+// simulated start/end times. TraceSummary aggregates per (op, path)
+// statistics so "abnormally large" access times are visible at a glance;
+// dump_csv emits the raw event stream for external tooling.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace xlupc::core {
+
+enum class TraceOp : std::uint8_t { kGet, kPut, kBarrier, kLock };
+
+/// How the access was ultimately served.
+enum class TracePath : std::uint8_t {
+  kLocal,  ///< same-thread affine access
+  kShm,    ///< same-node, cross-thread
+  kAm,     ///< remote, default SVD (Active Message) path
+  kRdma,   ///< remote, address-cache hit -> one-sided RDMA
+  kNone,   ///< not a data access (barrier/lock)
+};
+
+const char* to_string(TraceOp op);
+const char* to_string(TracePath path);
+
+struct TraceEvent {
+  ThreadId thread = 0;
+  TraceOp op = TraceOp::kGet;
+  TracePath path = TracePath::kNone;
+  NodeId target = 0;
+  std::uint32_t bytes = 0;
+  sim::Time start = 0;
+  sim::Time end = 0;
+
+  double duration_us() const { return sim::to_us(end - start); }
+};
+
+/// Per-(op, path) aggregate of a trace.
+struct TraceSummary {
+  struct Line {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double mean_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::pair<TraceOp, TracePath>, Line> lines;
+
+  const Line* find(TraceOp op, TracePath path) const {
+    auto it = lines.find({op, path});
+    return it == lines.end() ? nullptr : &it->second;
+  }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = false) : enabled_(enabled) {}
+
+  bool enabled() const noexcept { return enabled_; }
+
+  void record(const TraceEvent& ev) {
+    if (enabled_) events_.push_back(ev);
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  void clear() { events_.clear(); }
+
+  TraceSummary summarize() const;
+
+  /// CSV: thread,op,path,target,bytes,start_us,end_us,duration_us
+  void dump_csv(std::ostream& os) const;
+
+  /// Human-readable per-(op,path) table.
+  void print_summary(std::ostream& os) const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace xlupc::core

@@ -1,0 +1,122 @@
+#include "dis/field.h"
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "sim/stats.h"
+
+namespace xlupc::dis {
+
+using core::ArrayDesc;
+using core::UpcThread;
+using sim::Task;
+
+StressResult run_field(core::RuntimeConfig cfg, const FieldParams& fp) {
+  core::Runtime rt(std::move(cfg));
+  const std::uint64_t n = fp.bytes_per_thread * rt.threads();
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+
+  rt.run([&rt, &fp, n, &t0, &t1](UpcThread& th) -> Task<void> {
+    // Byte array blocked with N/THREADS per thread, as in the paper.
+    ArrayDesc arr = co_await th.all_alloc(n, 1, fp.bytes_per_thread);
+    {
+      std::vector<std::byte> init(fp.bytes_per_thread);
+      for (auto& b : init) {
+        b = static_cast<std::byte>('a' + th.rng().below(26));
+      }
+      rt.debug_write(arr, th.id() * fp.bytes_per_thread,
+                     std::as_bytes(std::span(init.data(), init.size())));
+    }
+    co_await th.barrier();
+    // Steady state: caches warm, pieces pinned (the paper measures long
+    // runs, not cold-start population).
+    if (th.id() == 0 && fp.warm_cache) rt.warm_address_cache(arr);
+    co_await th.barrier();
+    if (th.id() == 0) t0 = th.now();
+
+    const std::uint32_t threads = th.runtime().threads();
+    const ThreadId prev = (th.id() + threads - 1) % threads;
+    const ThreadId next = (th.id() + 1) % threads;
+    std::vector<std::byte> overhang(fp.token_len);
+
+    for (std::uint32_t tok = 0; tok < fp.tokens; ++tok) {
+      // Scan the local portion in chunks, extending the search into the
+      // neighbours' overhangs as the scan reaches segment boundaries.
+      // The scan is pure computation with random per-thread skew (token
+      // positions differ between threads), so overhang requests arrive
+      // while the target is still scanning — on GM the AM handler then
+      // stalls until the target's current scan chunk completes, which is
+      // exactly the "abnormally large" access time of Sec. 4.6. Cached
+      // accesses go through RDMA and skip the remote CPU entirely.
+      const double scan_us = static_cast<double>(fp.bytes_per_thread) /
+                             fp.scan_rate_bytes_per_us;
+      const std::uint32_t chunks = std::max(fp.overhang_reads, 1u);
+      const double chunk_us = scan_us / chunks;
+      // The position of the first candidate token is random, so threads
+      // de-phase right after the token barrier...
+      double pending_us = chunk_us * th.rng().uniform();
+      for (std::uint32_t o = 0; o < chunks; ++o) {
+        // ...and each scan segment length varies with the token density.
+        const double jitter =
+            1.0 - fp.skew / 2 + fp.skew * th.rng().uniform();
+        pending_us += chunk_us * jitter;
+        // A candidate token spans the boundary only sometimes; chunks
+        // without a boundary candidate scan straight through — the CPU is
+        // held continuously and (on GM) the NIC makes no progress, which
+        // is what makes un-cached overhang accesses stall.
+        const bool probe_next = th.rng().chance(fp.overhang_prob);
+        const bool probe_prev = th.rng().chance(fp.overhang_prob);
+        if (!probe_next && !probe_prev && o + 1 < chunks) continue;
+        co_await th.compute(sim::us(pending_us));
+        pending_us = 0.0;
+        if (probe_next) {
+          const std::uint64_t next_off =
+              static_cast<std::uint64_t>(next) * fp.bytes_per_thread +
+              static_cast<std::uint64_t>(o) * fp.token_len;
+          co_await th.get(arr, next_off % n, overhang);
+        }
+        if (probe_prev) {
+          const std::uint64_t prev_end =
+              static_cast<std::uint64_t>(prev) * fp.bytes_per_thread +
+              fp.bytes_per_thread - (o + 1) * fp.token_len;
+          co_await th.get(arr, prev_end % n, overhang);
+        }
+      }
+
+      // Delimiters found at the boundary are updated in memory.
+      const std::byte delim{'#'};
+      co_await th.put(
+          arr,
+          static_cast<std::uint64_t>(next) * fp.bytes_per_thread +
+              th.rng().below(fp.token_len),
+          std::as_bytes(std::span(&delim, 1)));
+
+      // The outer (token) loop is serial: synchronize before the next run.
+      co_await th.barrier();
+    }
+
+    if (th.id() == 0) t1 = th.now();
+  });
+
+  StressResult res;
+  res.time_us = sim::to_us(t1 - t0);
+  res.cache = rt.cache(fp.observe_node).stats();
+  res.cache_entries = rt.cache(fp.observe_node).size();
+  res.counters = rt.counters();
+  res.transport = rt.transport().stats();
+  return res;
+}
+
+Improvement field_improvement(core::RuntimeConfig cfg, const FieldParams& p) {
+  core::RuntimeConfig off = cfg;
+  off.cache.enabled = false;
+  const StressResult z = run_field(std::move(off), p);
+  core::RuntimeConfig on = cfg;
+  on.cache.enabled = true;
+  const StressResult w = run_field(std::move(on), p);
+  return Improvement{z.time_us, w.time_us,
+                     sim::improvement_percent(z.time_us, w.time_us)};
+}
+
+}  // namespace xlupc::dis

@@ -1,0 +1,43 @@
+// DIS Field Stressmark (paper Sec. 4.4).
+//
+// "Emphasizes regular access to large quantities of data. It searches an
+// array of random words for token strings ... The string array is blocked
+// in memory. Because the array is updated in every run, the outermost
+// loop (which iterates over multiple tokens) cannot be parallelized.
+// Parallelization is done instead in the inner loop, where each UPC
+// thread searches the local portion of the data string ... the threads
+// must overlap their search spaces by at least the width of a token."
+//
+// The interesting systems effect (Sec. 4.6): each thread spends most of
+// each token iteration scanning its local portion (pure computation).
+// The overhang reads into the neighbours' pieces arrive while those
+// neighbours are still computing; on GM the AM handler needs the target
+// CPU, so un-cached overhang accesses stall "abnormally large" times,
+// while cached accesses proceed by RDMA with no remote CPU — hence the
+// 35-40% improvement on GM and the ~0% on LAPI (which overlaps).
+#pragma once
+
+#include "core/api.h"
+#include "dis/stressmark.h"
+
+namespace xlupc::dis {
+
+struct FieldParams {
+  std::uint64_t bytes_per_thread = 1 << 15;  ///< local string portion
+  std::uint32_t tokens = 4;                  ///< outer (serial) iterations
+  std::uint32_t token_len = 16;              ///< overhang width
+  std::uint32_t overhang_reads = 16;  ///< scan chunks per token
+  /// Probability that a given scan chunk ends with a candidate token
+  /// spanning the boundary (i.e. triggers an overhang probe per side).
+  double overhang_prob = 0.4;
+  double scan_rate_bytes_per_us = 100.0;  ///< local scan speed
+  double skew = 0.4;  ///< scan-time jitter: q *= 1-skew/2 .. 1+skew/2
+  NodeId observe_node = 0;
+  bool warm_cache = true;  ///< start from a steady-state cache
+};
+
+StressResult run_field(core::RuntimeConfig cfg, const FieldParams& p);
+
+Improvement field_improvement(core::RuntimeConfig cfg, const FieldParams& p);
+
+}  // namespace xlupc::dis

@@ -1,0 +1,94 @@
+#include "dis/neighborhood.h"
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "sim/stats.h"
+
+namespace xlupc::dis {
+
+using core::ArrayDesc;
+using core::UpcThread;
+using sim::Task;
+
+StressResult run_neighborhood(core::RuntimeConfig cfg,
+                              const NeighborhoodParams& np) {
+  core::Runtime rt(std::move(cfg));
+  const std::uint64_t rows = np.rows_per_thread * rt.threads();
+  const std::uint64_t n = rows * np.cols;
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+
+  rt.run([&rt, &np, rows, n, &t0, &t1](UpcThread& th) -> Task<void> {
+    // Row-major block distribution: each thread owns a contiguous band of
+    // rows_per_thread rows.
+    ArrayDesc arr =
+        co_await th.all_alloc(n, sizeof(std::int32_t),
+                              np.rows_per_thread * np.cols);
+    {
+      std::vector<std::int32_t> init(np.rows_per_thread * np.cols);
+      for (auto& v : init) {
+        v = static_cast<std::int32_t>(th.rng().below(256));
+      }
+      rt.debug_write(arr, th.id() * init.size(),
+                     std::as_bytes(std::span(init.data(), init.size())));
+    }
+    co_await th.barrier();
+    // Steady state: caches warm, pieces pinned (the paper measures long
+    // runs, not cold-start population).
+    if (th.id() == 0 && np.warm_cache) rt.warm_address_cache(arr);
+    co_await th.barrier();
+    if (th.id() == 0) t0 = th.now();
+
+    const std::uint64_t band_start = th.id() * np.rows_per_thread;
+    std::int64_t checksum = 0;
+    for (std::uint32_t s = 0; s < np.samples_per_thread; ++s) {
+      const std::uint64_t r =
+          band_start + th.rng().below(np.rows_per_thread);
+      const std::uint64_t c = th.rng().below(np.cols);
+      // Centre pixel plus the four stencil partners at distance d;
+      // vertical partners may be remote, horizontal ones stay in-row.
+      checksum += co_await th.read<std::int32_t>(arr, r * np.cols + c);
+      if (r >= np.stencil) {
+        checksum +=
+            co_await th.read<std::int32_t>(arr, (r - np.stencil) * np.cols + c);
+      }
+      if (r + np.stencil < rows) {
+        checksum +=
+            co_await th.read<std::int32_t>(arr, (r + np.stencil) * np.cols + c);
+      }
+      const std::uint64_t cl = c >= np.stencil ? c - np.stencil : c;
+      const std::uint64_t cr =
+          c + np.stencil < np.cols ? c + np.stencil : c;
+      checksum += co_await th.read<std::int32_t>(arr, r * np.cols + cl);
+      checksum += co_await th.read<std::int32_t>(arr, r * np.cols + cr);
+      co_await th.compute(np.work_per_sample);
+    }
+    (void)checksum;
+
+    co_await th.barrier();
+    if (th.id() == 0) t1 = th.now();
+  });
+
+  StressResult res;
+  res.time_us = sim::to_us(t1 - t0);
+  res.cache = rt.cache(np.observe_node).stats();
+  res.cache_entries = rt.cache(np.observe_node).size();
+  res.counters = rt.counters();
+  res.transport = rt.transport().stats();
+  return res;
+}
+
+Improvement neighborhood_improvement(core::RuntimeConfig cfg,
+                                     const NeighborhoodParams& p) {
+  core::RuntimeConfig off = cfg;
+  off.cache.enabled = false;
+  const StressResult z = run_neighborhood(std::move(off), p);
+  core::RuntimeConfig on = cfg;
+  on.cache.enabled = true;
+  const StressResult w = run_neighborhood(std::move(on), p);
+  return Improvement{z.time_us, w.time_us,
+                     sim::improvement_percent(z.time_us, w.time_us)};
+}
+
+}  // namespace xlupc::dis

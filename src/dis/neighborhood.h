@@ -1,0 +1,38 @@
+// DIS Neighborhood Stressmark (paper Sec. 4.4).
+//
+// "A stencil code prototype. It deals with data that is organized in
+// multiple dimensions. It requires memory accesses to pairs of pixels
+// with specific spatial relationships. Computation is performed in
+// parallel based on the locality of the shared array. The two-dimensional
+// pixel matrix is block-distributed in a row major fashion. Accesses are
+// local or remote depending on stencil distances and pixel positions."
+//
+// Each thread owns a contiguous band of rows; vertical stencil partners
+// at distance d are remote when the sampled pixel lies within d rows of
+// the band boundary. Each thread only ever talks to its two neighbouring
+// threads, so the address cache needs just a couple of entries and its
+// hit rate stays flat as the machine scales (Fig. 8b).
+#pragma once
+
+#include "core/api.h"
+#include "dis/stressmark.h"
+
+namespace xlupc::dis {
+
+struct NeighborhoodParams {
+  std::uint64_t rows_per_thread = 24;
+  std::uint64_t cols = 256;
+  std::uint64_t stencil = 10;            ///< stencil distance (paper: 10)
+  std::uint32_t samples_per_thread = 48; ///< sampled pixels (measured)
+  sim::Duration work_per_sample = sim::us(3.0);
+  NodeId observe_node = 0;
+  bool warm_cache = true;  ///< start from a steady-state cache
+};
+
+StressResult run_neighborhood(core::RuntimeConfig cfg,
+                              const NeighborhoodParams& p);
+
+Improvement neighborhood_improvement(core::RuntimeConfig cfg,
+                                     const NeighborhoodParams& p);
+
+}  // namespace xlupc::dis

@@ -1,0 +1,74 @@
+#include "dis/pointer.h"
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "sim/stats.h"
+
+namespace xlupc::dis {
+
+using core::ArrayDesc;
+using core::UpcThread;
+using sim::Task;
+
+StressResult run_pointer(core::RuntimeConfig cfg, const PointerParams& pp) {
+  core::Runtime rt(std::move(cfg));
+  const std::uint64_t n = pp.elems_per_thread * rt.threads();
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+
+  rt.run([&rt, &pp, n, &t0, &t1](UpcThread& th) -> Task<void> {
+    ArrayDesc arr = co_await th.all_alloc(n, sizeof(std::uint64_t));
+    // Initialize this thread's block with random successors (setup is
+    // zero-cost: the paper measures the hop phase, not initialization).
+    {
+      const std::uint64_t block = arr.layout->block_factor();
+      const std::uint64_t start = th.id() * block;
+      const std::uint64_t count =
+          std::min(block, start < n ? n - start : 0);
+      std::vector<std::uint64_t> init(count);
+      for (auto& v : init) v = th.rng().below(n);
+      if (count > 0) {
+        rt.debug_write(arr, start,
+                       std::as_bytes(std::span(init.data(), init.size())));
+      }
+    }
+    co_await th.barrier();
+    // Steady state: caches warm, pieces pinned (the paper measures long
+    // runs, not cold-start population).
+    if (th.id() == 0 && pp.warm_cache) rt.warm_address_cache(arr);
+    co_await th.barrier();
+    if (th.id() == 0) t0 = th.now();
+
+    std::uint64_t pos = th.rng().below(n);
+    for (std::uint32_t h = 0; h < pp.hops; ++h) {
+      pos = co_await th.read<std::uint64_t>(arr, pos) % n;
+      co_await th.compute(pp.work_per_hop);
+    }
+
+    co_await th.barrier();
+    if (th.id() == 0) t1 = th.now();
+  });
+
+  StressResult res;
+  res.time_us = sim::to_us(t1 - t0);
+  res.cache = rt.cache(pp.observe_node).stats();
+  res.cache_entries = rt.cache(pp.observe_node).size();
+  res.counters = rt.counters();
+  res.transport = rt.transport().stats();
+  return res;
+}
+
+Improvement pointer_improvement(core::RuntimeConfig cfg,
+                                const PointerParams& p) {
+  core::RuntimeConfig off = cfg;
+  off.cache.enabled = false;
+  const StressResult z = run_pointer(std::move(off), p);
+  core::RuntimeConfig on = cfg;
+  on.cache.enabled = true;
+  const StressResult w = run_pointer(std::move(on), p);
+  return Improvement{z.time_us, w.time_us,
+                     sim::improvement_percent(z.time_us, w.time_us)};
+}
+
+}  // namespace xlupc::dis

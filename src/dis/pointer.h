@@ -1,0 +1,32 @@
+// DIS Pointer Stressmark (paper Sec. 4.4).
+//
+// "Repeatedly following pointers (hops) to randomized locations in memory
+// until a condition becomes true. ... Each UPC thread runs the test
+// separately with different starting and ending positions on the same
+// shared array." Every hop is a small (8-byte) GET to an unpredictable
+// location spanning the whole shared array — the worst case for the
+// address cache, whose entry count grows with the number of nodes.
+#pragma once
+
+#include "core/api.h"
+#include "dis/stressmark.h"
+
+namespace xlupc::dis {
+
+struct PointerParams {
+  std::uint64_t elems_per_thread = 4096;  ///< table size per thread
+  std::uint32_t hops = 64;                ///< hops per thread (measured)
+  sim::Duration work_per_hop = sim::us(0.1);  ///< local work between hops
+  NodeId observe_node = 0;  ///< node whose cache stats are reported
+  /// Start from a steady-state (warm) cache; disable to observe cold
+  /// population behaviour.
+  bool warm_cache = true;
+};
+
+StressResult run_pointer(core::RuntimeConfig cfg, const PointerParams& p);
+
+/// Cache-on vs cache-off comparison (Fig. 9 data point).
+Improvement pointer_improvement(core::RuntimeConfig cfg,
+                                const PointerParams& p);
+
+}  // namespace xlupc::dis

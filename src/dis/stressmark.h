@@ -1,0 +1,38 @@
+// Common types for the DIS Stressmark Suite subset (paper Sec. 4.4).
+//
+// Four stressmarks are implemented against the public runtime API, with
+// the access patterns the paper describes: Pointer (random pointer
+// hopping by every thread), Update (single-writer pointer hopping with
+// updates), Neighborhood (2-D stencil over a row-block-distributed pixel
+// matrix) and Field (token scan over a blocked string array with
+// overhangs into the neighbouring threads' pieces).
+#pragma once
+
+#include <cstdint>
+
+#include "core/address_cache.h"
+#include "core/api.h"
+#include "net/transport.h"
+
+namespace xlupc::dis {
+
+/// Measurements of one stressmark run. `time_us` covers only the measured
+/// phase (between the post-setup barrier and the final barrier); cache
+/// statistics are also reset at the start of the measured phase.
+struct StressResult {
+  double time_us = 0.0;
+  core::AddressCacheStats cache;  ///< address cache of the observed node
+  core::OpCounters counters;
+  net::TransportStats transport;
+  std::size_t cache_entries = 0;  ///< live entries at the end of the run
+};
+
+/// Improvement of enabling the address cache, as plotted in Fig. 9:
+/// 100 (Z - W) / Z with Z = regular runtime, W = cache-enabled runtime.
+struct Improvement {
+  double baseline_us = 0.0;
+  double cached_us = 0.0;
+  double improvement_pct = 0.0;
+};
+
+}  // namespace xlupc::dis

@@ -1,0 +1,86 @@
+#include "dis/update.h"
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "sim/stats.h"
+
+namespace xlupc::dis {
+
+using core::ArrayDesc;
+using core::UpcThread;
+using sim::Task;
+
+StressResult run_update(core::RuntimeConfig cfg, const UpdateParams& up) {
+  core::Runtime rt(std::move(cfg));
+  const std::uint64_t n = up.elems_per_thread * rt.threads();
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+
+  rt.run([&rt, &up, n, &t0, &t1](UpcThread& th) -> Task<void> {
+    ArrayDesc arr = co_await th.all_alloc(n, sizeof(std::uint64_t));
+    {
+      const std::uint64_t block = arr.layout->block_factor();
+      const std::uint64_t start = th.id() * block;
+      const std::uint64_t count =
+          start < n ? std::min(block, n - start) : std::uint64_t{0};
+      std::vector<std::uint64_t> init(count);
+      for (auto& v : init) v = th.rng().below(n);
+      if (count > 0) {
+        rt.debug_write(arr, start,
+                       std::as_bytes(std::span(init.data(), init.size())));
+      }
+    }
+    co_await th.barrier();
+    // Steady state: caches warm, pieces pinned (the paper measures long
+    // runs, not cold-start population).
+    if (th.id() == 0 && up.warm_cache) rt.warm_address_cache(arr);
+    co_await th.barrier();
+
+    // Only thread 0 works; the others idle in the final barrier (their
+    // CPUs are free, so remote-access overhead is what gets measured).
+    if (th.id() == 0) {
+      t0 = th.now();
+      std::uint64_t pos = th.rng().below(n);
+      const std::uint64_t stride = n / (up.reads_per_hop + 1) + 1;
+      for (std::uint32_t h = 0; h < up.hops; ++h) {
+        std::uint64_t acc = 0;
+        std::uint64_t next = pos;
+        for (std::uint32_t r = 0; r < up.reads_per_hop; ++r) {
+          const std::uint64_t idx = (pos + r * stride) % n;
+          const std::uint64_t v =
+              co_await th.read<std::uint64_t>(arr, idx);
+          acc ^= v;
+          if (r == 0) next = v % n;
+        }
+        co_await th.write<std::uint64_t>(arr, pos, acc);
+        co_await th.compute(up.work_per_hop);
+        pos = next;
+      }
+    }
+    co_await th.barrier();
+    if (th.id() == 0) t1 = th.now();
+  });
+
+  StressResult res;
+  res.time_us = sim::to_us(t1 - t0);
+  res.cache = rt.cache(up.observe_node).stats();
+  res.cache_entries = rt.cache(up.observe_node).size();
+  res.counters = rt.counters();
+  res.transport = rt.transport().stats();
+  return res;
+}
+
+Improvement update_improvement(core::RuntimeConfig cfg,
+                               const UpdateParams& p) {
+  core::RuntimeConfig off = cfg;
+  off.cache.enabled = false;
+  const StressResult z = run_update(std::move(off), p);
+  core::RuntimeConfig on = cfg;
+  on.cache.enabled = true;
+  const StressResult w = run_update(std::move(on), p);
+  return Improvement{z.time_us, w.time_us,
+                     sim::improvement_percent(z.time_us, w.time_us)};
+}
+
+}  // namespace xlupc::dis

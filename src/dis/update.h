@@ -1,0 +1,30 @@
+// DIS Update Stressmark (paper Sec. 4.4).
+//
+// "A pointer-hopping benchmark similar to the Pointer Stressmark. The
+// major difference is that in this code more than one remote memory
+// location is read — and one remote location is updated — in each hop.
+// All this is done by UPC thread 0, while the other threads idle in a
+// barrier. This benchmark is designed to measure the overhead of remote
+// accesses to multiple threads."
+#pragma once
+
+#include "core/api.h"
+#include "dis/stressmark.h"
+
+namespace xlupc::dis {
+
+struct UpdateParams {
+  std::uint64_t elems_per_thread = 4096;
+  std::uint32_t hops = 64;                 ///< hops by thread 0 (measured)
+  std::uint32_t reads_per_hop = 3;         ///< locations read per hop
+  sim::Duration work_per_hop = sim::us(12.0);
+  NodeId observe_node = 0;
+  bool warm_cache = true;  ///< start from a steady-state cache
+};
+
+StressResult run_update(core::RuntimeConfig cfg, const UpdateParams& p);
+
+Improvement update_improvement(core::RuntimeConfig cfg,
+                               const UpdateParams& p);
+
+}  // namespace xlupc::dis

@@ -1,0 +1,111 @@
+#include "mem/address_space.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace xlupc::mem {
+
+namespace {
+constexpr std::size_t kAlign = 16;
+
+std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+}  // namespace
+
+AddressSpace::AddressSpace(NodeId node) : node_(node), next_(node_base(node)) {}
+
+Addr AddressSpace::allocate(std::size_t size) {
+  const Addr addr = next_;
+  Block block;
+  block.size = size;
+  block.bytes.assign(size, std::byte{0});
+  blocks_.emplace(addr, std::move(block));
+  // Reserve at least one alignment unit so even empty allocations get
+  // distinct addresses.
+  next_ += round_up(std::max<std::size_t>(size, 1), kAlign);
+  bytes_allocated_ += size;
+  return addr;
+}
+
+void AddressSpace::free(Addr addr) {
+  auto it = blocks_.find(addr);
+  if (it == blocks_.end()) {
+    throw std::invalid_argument("AddressSpace::free: not an allocation base");
+  }
+  bytes_allocated_ -= it->second.size;
+  blocks_.erase(it);
+}
+
+const AddressSpace::Block& AddressSpace::locate(Addr addr, std::size_t len,
+                                                Addr* base) const {
+  auto it = blocks_.upper_bound(addr);
+  if (it == blocks_.begin()) {
+    throw std::out_of_range("AddressSpace: address below all allocations");
+  }
+  --it;
+  const Addr start = it->first;
+  const Block& block = it->second;
+  if (addr < start || addr - start > block.size ||
+      len > block.size - (addr - start)) {
+    throw std::out_of_range("AddressSpace: range not inside an allocation");
+  }
+  if (base != nullptr) *base = start;
+  return block;
+}
+
+bool AddressSpace::contains(Addr addr, std::size_t len) const {
+  try {
+    locate(addr, len, nullptr);
+    return true;
+  } catch (const std::out_of_range&) {
+    return false;
+  }
+}
+
+void AddressSpace::read(Addr addr, std::span<std::byte> out) const {
+  Addr base = 0;
+  const Block& block = locate(addr, out.size(), &base);
+  std::memcpy(out.data(), block.bytes.data() + (addr - base), out.size());
+}
+
+void AddressSpace::write(Addr addr, std::span<const std::byte> in) {
+  Addr base = 0;
+  // locate() is const; the block's byte storage is logically mutable here.
+  const Block& block = locate(addr, in.size(), &base);
+  std::memcpy(const_cast<std::byte*>(block.bytes.data()) + (addr - base),
+              in.data(), in.size());
+}
+
+std::byte* AddressSpace::data(Addr addr, std::size_t len) {
+  Addr base = 0;
+  const Block& block = locate(addr, len, &base);
+  return const_cast<std::byte*>(block.bytes.data()) + (addr - base);
+}
+
+const std::byte* AddressSpace::data(Addr addr, std::size_t len) const {
+  Addr base = 0;
+  const Block& block = locate(addr, len, &base);
+  return block.bytes.data() + (addr - base);
+}
+
+std::size_t AddressSpace::allocation_size(Addr addr) const {
+  auto it = blocks_.find(addr);
+  if (it == blocks_.end()) {
+    throw std::invalid_argument("AddressSpace::allocation_size: unknown base");
+  }
+  return it->second.size;
+}
+
+Addr AddressSpace::owning_block(Addr addr) const {
+  auto it = blocks_.upper_bound(addr);
+  if (it == blocks_.begin()) return kNullAddr;
+  --it;
+  if (addr - it->first >= std::max<std::size_t>(it->second.size, 1)) {
+    return kNullAddr;
+  }
+  return it->first;
+}
+
+}  // namespace xlupc::mem

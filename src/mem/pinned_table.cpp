@@ -1,0 +1,157 @@
+#include "mem/pinned_table.h"
+
+#include <algorithm>
+
+namespace xlupc::mem {
+
+namespace {
+constexpr std::size_t kChunk = kPinChunkBytes;  // chunked granularity
+}  // namespace
+
+bool PinnedAddressTable::covered(Addr addr, std::size_t len) const {
+  Addr cursor = addr;
+  const Addr end = addr + len;
+  while (cursor < end) {
+    auto it = regions_.upper_bound(cursor);
+    if (it == regions_.begin()) return false;
+    --it;
+    const Addr rbase = it->first;
+    const Addr rend = rbase + it->second.len;
+    if (cursor < rbase || cursor >= rend) return false;
+    cursor = rend;
+  }
+  return true;
+}
+
+bool PinnedAddressTable::is_pinned(Addr addr, std::size_t len) const {
+  return covered(addr, std::max<std::size_t>(len, 1));
+}
+
+std::optional<RdmaKey> PinnedAddressTable::key_for(Addr addr) const {
+  auto it = regions_.upper_bound(addr);
+  if (it == regions_.begin()) return std::nullopt;
+  --it;
+  if (addr >= it->first && addr < it->first + it->second.len) {
+    return it->second.key;
+  }
+  return std::nullopt;
+}
+
+void PinnedAddressTable::insert_region(Addr addr, std::size_t len,
+                                       PinResult& result) {
+  regions_.emplace(addr, Region{len, next_key_++, ++use_clock_});
+  pinned_bytes_ += len;
+  ++registrations_;
+  ++result.new_handles;
+  result.new_bytes += len;
+}
+
+bool PinnedAddressTable::make_room(std::size_t need, PinResult& result) {
+  if (limits_.max_total_bytes == 0) return true;
+  if (need > limits_.max_total_bytes) return false;
+  while (pinned_bytes_ + need > limits_.max_total_bytes) {
+    auto victim = regions_.end();
+    for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+      if (victim == regions_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == regions_.end()) return false;
+    pinned_bytes_ -= victim->second.len;
+    ++deregistrations_;
+    ++result.evicted_handles;
+    result.evicted_bytes += victim->second.len;
+    regions_.erase(victim);
+  }
+  return true;
+}
+
+PinResult PinnedAddressTable::pin_greedy(Addr addr, std::size_t len) {
+  PinResult result;
+  len = std::max<std::size_t>(len, 1);
+  if (covered(addr, len)) {
+    result.ok = true;
+    result.already_pinned = true;
+    result.key = *key_for(addr);
+    return result;
+  }
+  // "Pin everything": one registration covering the whole extent; limits
+  // are deliberately ignored, matching the paper's simplified strategy.
+  // Any partially-overlapping earlier registration is merged into the new
+  // one so regions in the table never overlap.
+  Addr lo = addr;
+  Addr hi = addr + len;
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    const Addr rbase = it->first;
+    const Addr rend = rbase + it->second.len;
+    if (rbase < hi && rend > lo) {
+      lo = std::min(lo, rbase);
+      hi = std::max(hi, rend);
+      pinned_bytes_ -= it->second.len;
+      it = regions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  insert_region(lo, static_cast<std::size_t>(hi - lo), result);
+  result.ok = true;
+  result.key = *key_for(addr);
+  return result;
+}
+
+PinResult PinnedAddressTable::pin_chunked(Addr addr, std::size_t len) {
+  PinResult result;
+  len = std::max<std::size_t>(len, 1);
+  std::size_t handle_cap = limits_.max_bytes_per_handle;
+  if (handle_cap == 0) handle_cap = static_cast<std::size_t>(-1);
+  const std::size_t piece = std::min(kChunk, handle_cap);
+
+  const Addr start = addr / piece * piece;
+  const Addr end = addr + len;
+  bool all_ok = true;
+  for (Addr cursor = start; cursor < end; cursor += piece) {
+    if (covered(cursor, piece)) {
+      auto it = regions_.upper_bound(cursor);
+      --it;
+      it->second.last_use = ++use_clock_;  // refresh LRU on reuse
+      continue;
+    }
+    if (!make_room(piece, result)) {
+      all_ok = false;
+      break;
+    }
+    insert_region(cursor, piece, result);
+  }
+  result.ok = all_ok && covered(addr, len);
+  if (result.ok) result.key = *key_for(addr);
+  result.already_pinned = result.ok && result.new_handles == 0;
+  return result;
+}
+
+PinResult PinnedAddressTable::pin(Addr addr, std::size_t len) {
+  ++pin_calls_;
+  return strategy_ == PinStrategy::kGreedy ? pin_greedy(addr, len)
+                                           : pin_chunked(addr, len);
+}
+
+std::size_t PinnedAddressTable::unpin(Addr addr, std::size_t len) {
+  len = std::max<std::size_t>(len, 1);
+  const Addr end = addr + len;
+  std::size_t removed = 0;
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    const Addr rbase = it->first;
+    const Addr rend = rbase + it->second.len;
+    if (rbase < end && rend > addr) {  // overlap
+      pinned_bytes_ -= it->second.len;
+      ++deregistrations_;
+      ++removed;
+      it = regions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace xlupc::mem

@@ -1,0 +1,66 @@
+#include "mem/registration_cache.h"
+
+#include <algorithm>
+
+namespace xlupc::mem {
+
+void RegistrationCache::evict_one(RegLookup& out) {
+  const Addr victim = lru_.back();
+  lru_.pop_back();
+  auto it = regions_.find(victim);
+  resident_ -= it->second.len;
+  out.deregistered += it->second.len;
+  ++out.evicted_regions;
+  regions_.erase(it);
+  ++evictions_;
+}
+
+RegLookup RegistrationCache::ensure(Addr addr, std::size_t len) {
+  RegLookup out;
+  len = std::max<std::size_t>(len, 1);
+
+  // Hit: one cached region fully covers the request.
+  auto it = regions_.upper_bound(addr);
+  if (it != regions_.begin()) {
+    auto prev = std::prev(it);
+    if (addr >= prev->first && addr + len <= prev->first + prev->second.len) {
+      out.hit = true;
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, prev->second.lru_pos);
+      return out;
+    }
+  }
+
+  ++misses_;
+  // Register the exact range requested; drop overlapping stale regions
+  // first so the map stays non-overlapping.
+  invalidate(addr, len);
+  if (capacity_ != 0) {
+    while (resident_ + len > capacity_ && !regions_.empty()) {
+      evict_one(out);
+    }
+  }
+  lru_.push_front(addr);
+  regions_.emplace(addr, Region{len, lru_.begin()});
+  resident_ += len;
+  out.registered = len;
+  return out;
+}
+
+void RegistrationCache::invalidate(Addr addr, std::size_t len) {
+  len = std::max<std::size_t>(len, 1);
+  const Addr end = addr + len;
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    const Addr rbase = it->first;
+    const Addr rend = rbase + it->second.len;
+    if (rbase < end && rend > addr) {
+      resident_ -= it->second.len;
+      lru_.erase(it->second.lru_pos);
+      it = regions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace xlupc::mem

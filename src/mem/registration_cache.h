@@ -1,0 +1,63 @@
+// Registration cache with lazy deregistration (Tezuka's pin-down cache),
+// as used by the XLUPC Myrinet/GM long-message path (paper Sec. 3.3):
+// memory de-registration on GM is even more expensive than registration,
+// so registered regions are kept and recycled LRU only when the DMAable
+// budget is exhausted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "common/types.h"
+
+namespace xlupc::mem {
+
+/// Outcome of ensuring a buffer is registered for a transfer.
+struct RegLookup {
+  bool hit = false;              ///< region already registered
+  std::size_t registered = 0;    ///< bytes newly registered
+  std::size_t deregistered = 0;  ///< bytes lazily deregistered (evictions)
+  std::size_t evicted_regions = 0;  ///< regions evicted to make room
+};
+
+class RegistrationCache {
+ public:
+  /// `capacity_bytes` models the OS limit on DMAable memory the GM driver
+  /// may allocate (1 GB on the paper's machines). 0 = unlimited.
+  explicit RegistrationCache(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Ensure [addr, addr+len) is registered; registers (and lazily evicts)
+  /// as needed. A lookup that is fully covered by one cached region is a
+  /// hit and costs nothing.
+  RegLookup ensure(Addr addr, std::size_t len);
+
+  /// Drop any regions overlapping [addr, addr+len) (object freed).
+  void invalidate(Addr addr, std::size_t len);
+
+  std::size_t resident_bytes() const noexcept { return resident_; }
+  std::size_t region_count() const noexcept { return regions_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  struct Region {
+    std::size_t len;
+    std::list<Addr>::iterator lru_pos;
+  };
+
+  void evict_one(RegLookup& out);
+
+  std::size_t capacity_;
+  std::size_t resident_ = 0;
+  std::map<Addr, Region> regions_;
+  std::list<Addr> lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace xlupc::mem

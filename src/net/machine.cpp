@@ -1,0 +1,42 @@
+#include "net/machine.h"
+
+#include <stdexcept>
+
+namespace xlupc::net {
+
+Machine::Machine(sim::Simulator& sim, PlatformParams params,
+                 MachineConfig config)
+    : sim_(&sim), params_(std::move(params)), config_(config) {
+  if (config_.nodes == 0 || config_.cores_per_node == 0) {
+    throw std::invalid_argument("Machine: nodes and cores must be positive");
+  }
+  nodes_.reserve(config_.nodes);
+  for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+    Node node;
+    node.cores.reserve(config_.cores_per_node);
+    for (std::uint32_t c = 0; c < config_.cores_per_node; ++c) {
+      node.cores.push_back(std::make_unique<sim::Resource>(sim, 1));
+    }
+    // Communication processors: LAPI-style transports dispatch header
+    // handlers on a small pool of service (SMT) threads per node.
+    node.comm = std::make_unique<sim::Resource>(
+        sim, std::max<std::uint32_t>(2, config_.cores_per_node / 4));
+    node.tx = std::make_unique<sim::Resource>(sim, 1);
+    // NICs carry independent send/receive DMA engines; one-sided traffic
+    // in both directions can overlap.
+    node.dma = std::make_unique<sim::Resource>(sim, 2);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+sim::Resource& Machine::core(NodeId node, std::uint32_t core) {
+  return *nodes_.at(node).cores.at(core);
+}
+
+sim::Resource& Machine::comm_cpu(NodeId node) { return *nodes_.at(node).comm; }
+
+sim::Resource& Machine::nic_tx(NodeId node) { return *nodes_.at(node).tx; }
+
+sim::Resource& Machine::nic_dma(NodeId node) { return *nodes_.at(node).dma; }
+
+}  // namespace xlupc::net

@@ -1,0 +1,70 @@
+// Hardware resources of the simulated cluster.
+//
+// Each node owns per-core CPU resources, a communication processor (used
+// by transports that progress independently of application CPUs, i.e.
+// LAPI), and a NIC with separate send-path and RDMA/DMA engines. All are
+// FIFO resources, so contention (e.g. four UPC threads sharing one blade
+// NIC on MareNostrum) emerges naturally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "net/params.h"
+#include "net/topology.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace xlupc::net {
+
+struct MachineConfig {
+  std::uint32_t nodes = 1;
+  std::uint32_t cores_per_node = 1;
+};
+
+class Machine {
+ public:
+  Machine(sim::Simulator& sim, PlatformParams params, MachineConfig config);
+
+  sim::Simulator& simulator() noexcept { return *sim_; }
+  const PlatformParams& params() const noexcept { return params_; }
+  std::uint32_t nodes() const noexcept { return config_.nodes; }
+  std::uint32_t cores_per_node() const noexcept {
+    return config_.cores_per_node;
+  }
+
+  /// Application core `core` of node `node`.
+  sim::Resource& core(NodeId node, std::uint32_t core);
+  /// The node's dedicated communication processor.
+  sim::Resource& comm_cpu(NodeId node);
+  /// NIC send path (host-driven messaging).
+  sim::Resource& nic_tx(NodeId node);
+  /// NIC RDMA/DMA engine (one-sided transfers).
+  sim::Resource& nic_dma(NodeId node);
+
+  /// One-way wire latency between nodes.
+  sim::Duration latency(NodeId a, NodeId b) const {
+    return wire_latency(params_, a, b);
+  }
+  /// Link serialization time for a payload plus protocol header.
+  sim::Duration serialize_with_header(std::uint64_t payload_bytes) const {
+    return params_.serialize(payload_bytes + params_.header_bytes);
+  }
+
+ private:
+  struct Node {
+    std::vector<std::unique_ptr<sim::Resource>> cores;
+    std::unique_ptr<sim::Resource> comm;
+    std::unique_ptr<sim::Resource> tx;
+    std::unique_ptr<sim::Resource> dma;
+  };
+
+  sim::Simulator* sim_;
+  PlatformParams params_;
+  MachineConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace xlupc::net

@@ -1,0 +1,138 @@
+// Message types exchanged by the XLUPC messaging layer.
+//
+// The transport carries SVD handles as opaque 64-bit values (the SVD
+// library packs/unpacks them); translation to addresses happens only in
+// the target-side handlers, exactly as in the paper's design.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xlupc::net {
+
+/// Remote base address + RDMA key, piggybacked on replies/ACKs to
+/// populate the initiator's remote address cache (Sec. 3).
+struct BaseInfo {
+  Addr base = kNullAddr;
+  RdmaKey key = 0;
+};
+
+/// AM GET request: fetch `len` bytes at `offset` within the object named
+/// by `svd_handle` on the target. `want_base` asks the target to pin the
+/// object and piggyback its base address on the reply.
+struct GetRequest {
+  std::uint64_t svd_handle = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+  bool want_base = false;
+  std::uint32_t target_core = 0;  ///< core owning the data's UPC thread
+  /// Initiator-side only (not on the wire): identity of the private
+  /// destination buffer, used to charge/cache its registration on
+  /// zero-copy (rendezvous) paths.
+  Addr local_buf = kNullAddr;
+};
+
+/// AM GET reply: the data plus the optional piggybacked base address.
+struct GetReply {
+  std::vector<std::byte> data;
+  std::optional<BaseInfo> base;
+};
+
+/// AM PUT request (eager): deliver `data` into the object at `offset`.
+struct PutRequest {
+  std::uint64_t svd_handle = 0;
+  std::uint64_t offset = 0;
+  std::vector<std::byte> data;
+  bool want_base = false;
+  std::uint32_t target_core = 0;
+  /// Initiator-side only: identity of the private source buffer for
+  /// zero-copy (rendezvous) registration accounting.
+  Addr local_buf = kNullAddr;
+};
+
+/// PUT acknowledgement carrying the optional piggybacked base address.
+struct PutAck {
+  std::optional<BaseInfo> base;
+};
+
+// --- control-plane messages (SVD maintenance, locks) ---
+
+/// Wire form of an array distribution (enough for any node to rebuild the
+/// geometry and allocate its local piece).
+struct WireLayout {
+  std::uint8_t dims = 1;
+  std::uint64_t elem_size = 1;
+  std::uint64_t extent0 = 0, extent1 = 0;
+  std::uint64_t block0 = 0, block1 = 0;
+};
+
+/// Notification that a thread allocated a shared variable
+/// (upc_global_alloc and friends): remote SVD replicas append a control
+/// block to the owner's partition and allocate their local piece of the
+/// distributed object.
+struct SvdAllocNotice {
+  std::uint64_t svd_handle = 0;
+  WireLayout layout;
+  std::uint8_t kind = 0;  ///< svd::ObjectKind
+};
+
+/// Notification that a shared variable was freed: remote nodes eagerly
+/// invalidate their address-cache entries for it (Sec. 3.1).
+struct SvdFreeNotice {
+  std::uint64_t svd_handle = 0;
+};
+
+/// Full-table resolution (the O(nodes x objects) distributed table of
+/// remote addresses the paper rejects in Sec. 2.1, implemented for the
+/// resolution-strategy ablation): a node publishes the base address of
+/// its piece of a shared object to every other node at allocation time.
+struct SvdBasePublish {
+  std::uint64_t svd_handle = 0;
+  NodeId origin = 0;
+  Addr base = kNullAddr;
+  RdmaKey key = 0;
+};
+
+/// Atomic fetch-and-add executed at the data's home node (an extension
+/// in the spirit of upc_amo): the home applies the update under its
+/// single-writer discipline and returns the previous value.
+struct AtomicFetchAdd {
+  std::uint64_t svd_handle = 0;
+  std::uint64_t offset = 0;  ///< byte offset within the home's piece
+  std::uint64_t delta = 0;
+  ThreadId requester = 0;
+};
+struct AtomicResult {
+  ThreadId requester = 0;
+  std::uint64_t value = 0;  ///< value before the update
+};
+
+/// upc_lock / upc_unlock protocol messages, serviced at the lock's home.
+struct LockRequest {
+  std::uint64_t svd_handle = 0;
+  ThreadId requester = 0;
+  bool try_only = false;
+};
+struct LockGrant {
+  std::uint64_t svd_handle = 0;
+  ThreadId requester = 0;
+  bool granted = true;
+};
+struct LockRelease {
+  std::uint64_t svd_handle = 0;
+  ThreadId holder = 0;
+};
+
+using ControlMsg =
+    std::variant<SvdAllocNotice, SvdFreeNotice, SvdBasePublish, AtomicFetchAdd,
+                 AtomicResult, LockRequest, LockGrant, LockRelease>;
+
+/// Wire size of a control message (fixed small AM).
+inline constexpr std::size_t kControlBytes = 32;
+
+}  // namespace xlupc::net

@@ -1,0 +1,24 @@
+#include "net/topology.h"
+
+namespace xlupc::net {
+
+std::uint32_t hops_between(TopologyKind topology, NodeId a, NodeId b) {
+  if (a == b) return 0;
+  switch (topology) {
+    case TopologyKind::kFlatSwitch:
+      return 1;
+    case TopologyKind::kMyrinetCrossbar: {
+      if (a / kMyrinetLinecard == b / kMyrinetLinecard) return 1;
+      if (a / kMyrinetGroup == b / kMyrinetGroup) return 3;
+      return 5;
+    }
+  }
+  return 1;
+}
+
+sim::Duration wire_latency(const PlatformParams& p, NodeId a, NodeId b) {
+  if (a == b) return 0;
+  return p.wire_base + p.hop_latency * hops_between(p.topology, a, b);
+}
+
+}  // namespace xlupc::net

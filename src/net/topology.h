@@ -1,0 +1,26 @@
+// Interconnect topologies: hop counts between nodes.
+//
+// MareNostrum's Myrinet has a 3-level crossbar giving three route lengths:
+// 1 hop when both nodes hang off the same linecard, 3 or 5 hops otherwise
+// depending on intervening linecards (Sec. 4.1). The HPS switch of the
+// Power5 cluster is modelled as a single-stage (1-hop) switch.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "net/params.h"
+
+namespace xlupc::net {
+
+/// Nodes per Myrinet linecard and per mid-level switch group.
+inline constexpr std::uint32_t kMyrinetLinecard = 16;
+inline constexpr std::uint32_t kMyrinetGroup = 128;
+
+/// Number of switch hops between two distinct nodes (0 when a == b).
+std::uint32_t hops_between(TopologyKind topology, NodeId a, NodeId b);
+
+/// One-way wire latency between two nodes under `p`.
+sim::Duration wire_latency(const PlatformParams& p, NodeId a, NodeId b);
+
+}  // namespace xlupc::net

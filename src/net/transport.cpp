@@ -1,0 +1,356 @@
+#include "net/transport.h"
+
+#include <utility>
+
+namespace xlupc::net {
+
+using sim::Duration;
+using sim::Task;
+
+Transport::Transport(Machine& machine, AmTarget& target)
+    : machine_(machine), target_(target) {
+  reg_caches_.reserve(machine.nodes());
+  for (std::uint32_t n = 0; n < machine.nodes(); ++n) {
+    reg_caches_.emplace_back(machine.params().max_dmaable_bytes);
+  }
+}
+
+Task<void> Transport::charge_reg_cache(sim::Resource& cpu, NodeId node,
+                                       Addr addr, std::size_t len) {
+  const auto& p = machine_.params();
+  const auto rl = reg_caches_[node].ensure(addr, len);
+  Duration cost = 0;
+  if (!rl.hit) cost += p.reg_time(rl.registered, 1);
+  cost += p.dereg_base * rl.evicted_regions;  // lazy deregistration bill
+  if (cost != 0) co_await cpu.use(cost);
+}
+
+Task<void> Transport::ensure_local_registered(Initiator from, Addr key,
+                                              std::size_t len) {
+  co_await charge_reg_cache(machine_.core(from.node, from.core), from.node,
+                            key, len);
+}
+
+// ---------------------------------------------------------------- GET ---
+
+Task<GetReply> Transport::get(Initiator from, NodeId dst, GetRequest req) {
+  if (req.len <= machine_.params().eager_limit) {
+    ++stats_.am_gets;
+    return get_eager(from, dst, std::move(req));
+  }
+  ++stats_.rendezvous_gets;
+  return get_rendezvous(from, dst, std::move(req));
+}
+
+Task<GetReply> Transport::get_eager(Initiator from, NodeId dst,
+                                    GetRequest req) {
+  auto& sim = machine_.simulator();
+  const auto& p = machine_.params();
+
+  // Initiator: build and post the AM request (Fig. 5: "send Active Msg").
+  co_await machine_.core(from.node, from.core).use(p.send_overhead);
+  co_await machine_.nic_tx(from.node)
+      .use(p.nic_tx_overhead + machine_.serialize_with_header(0));
+  stats_.wire_bytes += p.header_bytes;
+  co_await sim.delay(machine_.latency(from.node, dst));
+
+  // Target: header handler translates the SVD handle, optionally pins the
+  // object, and copies the data into a bounce buffer.
+  auto& hcpu = handler_cpu(dst, req.target_core);
+  co_await hcpu.acquire();
+  co_await sim.delay(p.recv_overhead + p.svd_lookup);
+  auto serve = target_.serve_get(dst, req);
+  Duration extra = p.reg_time(serve.reg_new_bytes, serve.reg_new_handles) +
+                   p.dereg_base * serve.reg_evicted_handles;
+  extra += p.copy_time(req.len);  // copy into the send bounce buffer
+  co_await sim.delay(extra);
+  hcpu.release();
+
+  // Reply carrying the data (plus the piggybacked base address).
+  co_await machine_.nic_tx(dst).use(p.nic_tx_overhead +
+                                    machine_.serialize_with_header(req.len));
+  stats_.wire_bytes += p.header_bytes + req.len;
+  co_await sim.delay(machine_.latency(dst, from.node));
+
+  // Initiator: receive dispatch; small replies land in a preposted bounce
+  // buffer and are copied out, larger ones land in place.
+  Duration recv_cost = p.recv_overhead;
+  if (req.len <= p.both_copy_limit) recv_cost += p.copy_time(req.len);
+  co_await machine_.core(from.node, from.core).use(recv_cost);
+
+  co_return GetReply{std::move(serve.data), serve.base};
+}
+
+Task<GetReply> Transport::get_rendezvous(Initiator from, NodeId dst,
+                                         GetRequest req) {
+  auto& sim = machine_.simulator();
+  const auto& p = machine_.params();
+
+  // Initiator: post the request; pre-register the private receive buffer
+  // for zero-copy delivery (registration cache, lazy deregistration).
+  co_await machine_.core(from.node, from.core).use(p.send_overhead);
+  if (req.local_buf != kNullAddr) {
+    co_await charge_reg_cache(machine_.core(from.node, from.core), from.node,
+                              req.local_buf, req.len);
+  }
+  co_await machine_.nic_tx(from.node)
+      .use(p.nic_tx_overhead + machine_.serialize_with_header(0));
+  stats_.wire_bytes += p.header_bytes;
+  co_await sim.delay(machine_.latency(from.node, dst));
+
+  // Target: translate, register the source region, directed zero-copy send.
+  auto& hcpu = handler_cpu(dst, req.target_core);
+  co_await hcpu.acquire();
+  co_await sim.delay(p.recv_overhead + p.svd_lookup);
+  auto serve = target_.serve_get(dst, req);
+  const Duration pin_cost =
+      p.reg_time(serve.reg_new_bytes, serve.reg_new_handles) +
+      p.dereg_base * serve.reg_evicted_handles;
+  co_await sim.delay(pin_cost);
+  const auto rl = reg_caches_[dst].ensure(serve.src_addr, req.len);
+  Duration reg_cost = rl.hit ? 0 : p.reg_time(rl.registered, 1);
+  reg_cost += p.dereg_base * rl.evicted_regions;
+  co_await sim.delay(reg_cost);
+  hcpu.release();
+
+  co_await machine_.nic_tx(dst).use(p.nic_tx_overhead +
+                                    machine_.serialize_with_header(req.len));
+  stats_.wire_bytes += p.header_bytes + req.len;
+  co_await sim.delay(machine_.latency(dst, from.node));
+
+  // Zero-copy landing: completion notification only.
+  co_await machine_.core(from.node, from.core).use(p.recv_overhead);
+  co_return GetReply{std::move(serve.data), serve.base};
+}
+
+// ---------------------------------------------------------------- PUT ---
+
+Task<void> Transport::put(Initiator from, NodeId dst, PutRequest req,
+                          PutAckHook on_ack) {
+  if (req.data.size() <= machine_.params().eager_limit) {
+    ++stats_.am_puts;
+    return put_eager(from, dst, std::move(req), std::move(on_ack));
+  }
+  ++stats_.rendezvous_puts;
+  return put_rendezvous(from, dst, std::move(req), std::move(on_ack));
+}
+
+Task<void> Transport::put_eager(Initiator from, NodeId dst, PutRequest req,
+                                PutAckHook on_ack) {
+  const auto& p = machine_.params();
+  const std::size_t len = req.data.size();
+
+  // Initiator: copy into a send bounce buffer (frees the user buffer —
+  // local completion), then inject on the NIC.
+  co_await machine_.core(from.node, from.core)
+      .use(p.send_overhead + p.copy_time(len));
+  co_await machine_.nic_tx(from.node)
+      .use(p.nic_tx_overhead + machine_.serialize_with_header(len));
+  stats_.wire_bytes += p.header_bytes + len;
+
+  // The remote half proceeds in the background; PUT is locally complete.
+  spawn_put_remote(from, dst, std::move(req), std::move(on_ack));
+}
+
+void Transport::spawn_put_remote(Initiator from, NodeId dst, PutRequest req,
+                                 PutAckHook on_ack) {
+  machine_.simulator().spawn(
+      put_remote(from, dst, std::move(req), std::move(on_ack)));
+}
+
+Task<void> Transport::put_remote(Initiator from, NodeId dst, PutRequest req,
+                                 PutAckHook on_ack) {
+  auto& sim = machine_.simulator();
+  const auto& p = machine_.params();
+  const std::size_t len = req.data.size();
+
+  co_await sim.delay(machine_.latency(from.node, dst));
+
+  auto& hcpu = handler_cpu(dst, req.target_core);
+  co_await hcpu.acquire();
+  co_await sim.delay(p.recv_overhead + p.svd_lookup + p.copy_time(len));
+  auto serve = target_.serve_put(dst, std::move(req));
+  co_await sim.delay(p.reg_time(serve.reg_new_bytes, serve.reg_new_handles) +
+                     p.dereg_base * serve.reg_evicted_handles);
+  hcpu.release();
+
+  // Acknowledgement (may carry the piggybacked base address).
+  co_await machine_.nic_tx(dst).use(p.nic_tx_overhead +
+                                    machine_.serialize_with_header(0));
+  stats_.wire_bytes += p.header_bytes;
+  co_await sim.delay(machine_.latency(dst, from.node));
+  co_await machine_.core(from.node, from.core).use(p.recv_overhead);
+  if (on_ack) on_ack(PutAck{serve.base});
+}
+
+Task<void> Transport::put_rendezvous(Initiator from, NodeId dst,
+                                     PutRequest req, PutAckHook on_ack) {
+  auto& sim = machine_.simulator();
+  const auto& p = machine_.params();
+  const std::size_t len = req.data.size();
+
+  // RTS (no data).
+  co_await machine_.core(from.node, from.core).use(p.send_overhead);
+  co_await machine_.nic_tx(from.node)
+      .use(p.nic_tx_overhead + machine_.serialize_with_header(0));
+  stats_.wire_bytes += p.header_bytes;
+  co_await sim.delay(machine_.latency(from.node, dst));
+
+  // Target: translate + register the destination region.
+  auto& hcpu = handler_cpu(dst, req.target_core);
+  co_await hcpu.acquire();
+  co_await sim.delay(p.recv_overhead + p.svd_lookup);
+  auto serve = target_.serve_put_rendezvous(dst, req, len);
+  co_await sim.delay(p.reg_time(serve.reg_new_bytes, serve.reg_new_handles) +
+                     p.dereg_base * serve.reg_evicted_handles);
+  const auto rl = reg_caches_[dst].ensure(serve.dst_addr, len);
+  Duration reg_cost = rl.hit ? 0 : p.reg_time(rl.registered, 1);
+  reg_cost += p.dereg_base * rl.evicted_regions;
+  co_await sim.delay(reg_cost);
+  hcpu.release();
+
+  // CTS back to the initiator.
+  co_await machine_.nic_tx(dst).use(p.nic_tx_overhead +
+                                    machine_.serialize_with_header(0));
+  stats_.wire_bytes += p.header_bytes;
+  co_await sim.delay(machine_.latency(dst, from.node));
+  co_await machine_.core(from.node, from.core).use(p.recv_overhead);
+
+  // Stream the payload zero-copy; local completion when the NIC has
+  // drained the user buffer.
+  if (req.local_buf != kNullAddr) {
+    co_await charge_reg_cache(machine_.core(from.node, from.core), from.node,
+                              req.local_buf, len);
+  }
+  co_await machine_.nic_tx(from.node)
+      .use(p.nic_tx_overhead + machine_.serialize_with_header(len));
+  stats_.wire_bytes += p.header_bytes + len;
+
+  PutAck ack{serve.base};
+  machine_.simulator().spawn(
+      put_payload_remote(from, dst, std::move(req), ack, std::move(on_ack)));
+}
+
+Task<void> Transport::put_payload_remote(Initiator from, NodeId dst,
+                                         PutRequest req, PutAck ack,
+                                         PutAckHook on_ack) {
+  auto& sim = machine_.simulator();
+  const auto& p = machine_.params();
+  co_await sim.delay(machine_.latency(from.node, dst));
+  // Data lands via DMA into the registered destination — no target CPU.
+  target_.deliver_put_payload(dst, req.svd_handle, req.offset,
+                              std::move(req.data));
+  co_await machine_.core(from.node, from.core).use(p.recv_overhead);
+  if (on_ack) on_ack(ack);
+}
+
+// --------------------------------------------------------------- RDMA ---
+
+Task<std::optional<std::vector<std::byte>>> Transport::rdma_get(
+    Initiator from, NodeId dst, Addr raddr, std::uint32_t len) {
+  ++stats_.rdma_gets;
+  auto& sim = machine_.simulator();
+  const auto& p = machine_.params();
+
+  // Post the read descriptor; the initiator NIC sends it to the target NIC.
+  co_await machine_.core(from.node, from.core).use(p.rdma_get_setup);
+  co_await machine_.nic_dma(from.node)
+      .use(p.dma_engine_overhead + machine_.serialize_with_header(0));
+  stats_.wire_bytes += p.header_bytes;
+  co_await sim.delay(machine_.latency(from.node, dst));
+
+  // Target NIC DMA engine reads pinned memory and streams it back — the
+  // remote CPU is not involved at all.
+  auto& dma = machine_.nic_dma(dst);
+  co_await dma.acquire();
+  const std::byte* src = target_.rdma_memory(dst, raddr, len);
+  if (src == nullptr) {
+    // NAK: window not pinned. Small control frame back.
+    co_await sim.delay(p.dma_engine_overhead);
+    dma.release();
+    ++stats_.rdma_naks;
+    co_await sim.delay(machine_.latency(dst, from.node));
+    co_await machine_.core(from.node, from.core).use(p.rdma_completion);
+    co_return std::nullopt;
+  }
+  std::vector<std::byte> out(src, src + len);
+  co_await sim.delay(p.dma_engine_overhead +
+                     machine_.serialize_with_header(len));
+  dma.release();
+  stats_.wire_bytes += p.header_bytes + len;
+  co_await sim.delay(machine_.latency(dst, from.node));
+
+  // Completion detection at the initiator.
+  co_await machine_.core(from.node, from.core).use(p.rdma_completion);
+  co_return out;
+}
+
+Task<bool> Transport::rdma_put(Initiator from, NodeId dst, Addr raddr,
+                               std::vector<std::byte> data,
+                               std::function<void()> on_done) {
+  ++stats_.rdma_puts;
+  auto& sim = machine_.simulator();
+  const auto& p = machine_.params();
+  const std::size_t len = data.size();
+
+  std::byte* dst_mem = target_.rdma_memory(dst, raddr, len);
+  if (dst_mem == nullptr) {
+    // NAK discovered after a descriptor roundtrip.
+    ++stats_.rdma_naks;
+    co_await machine_.core(from.node, from.core).use(p.rdma_put_setup);
+    co_await sim.delay(machine_.latency(from.node, dst) +
+                       machine_.latency(dst, from.node));
+    co_await machine_.core(from.node, from.core).use(p.rdma_completion);
+    co_return false;
+  }
+
+  co_await machine_.core(from.node, from.core).use(p.rdma_put_setup);
+  // Local completion when the DMA engine has drained the source buffer.
+  co_await machine_.nic_dma(from.node)
+      .use(p.dma_engine_overhead + machine_.serialize_with_header(len));
+  stats_.wire_bytes += p.header_bytes + len;
+
+  struct Landing {
+    Machine* machine;
+    NodeId src, dst;
+    std::byte* dst_mem;
+    std::vector<std::byte> data;
+    std::function<void()> on_done;
+  };
+  auto landing = [](sim::Simulator& s, Landing l) -> Task<void> {
+    co_await s.delay(l.machine->latency(l.src, l.dst));
+    std::copy(l.data.begin(), l.data.end(), l.dst_mem);
+    if (l.on_done) l.on_done();
+  };
+  machine_.simulator().spawn(landing(
+      sim, Landing{&machine_, from.node, dst, dst_mem, std::move(data),
+                   std::move(on_done)}));
+  co_return true;
+}
+
+// ------------------------------------------------------------ control ---
+
+Task<void> Transport::control(Initiator from, NodeId dst, ControlMsg msg) {
+  ++stats_.control_msgs;
+  auto& sim = machine_.simulator();
+  const auto& p = machine_.params();
+
+  co_await machine_.core(from.node, from.core).use(p.send_overhead);
+  co_await machine_.nic_tx(from.node)
+      .use(p.nic_tx_overhead + machine_.serialize_with_header(kControlBytes));
+  stats_.wire_bytes += p.header_bytes + kControlBytes;
+  co_await sim.delay(machine_.latency(from.node, dst));
+
+  auto& hcpu = handler_cpu(dst, 0);
+  co_await hcpu.use(p.recv_overhead);
+  target_.serve_control(dst, from.node, msg);
+}
+
+std::unique_ptr<Transport> make_transport(Machine& machine, AmTarget& target) {
+  if (machine.params().kind == TransportKind::kGm) {
+    return std::make_unique<GmTransport>(machine, target);
+  }
+  return std::make_unique<LapiTransport>(machine, target);
+}
+
+}  // namespace xlupc::net

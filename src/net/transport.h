@@ -1,0 +1,216 @@
+// Transport interface of the XLUPC low-level messaging API.
+//
+// The runtime initiates operations through this interface. Two paths
+// exist, exactly as in the paper:
+//  * the default two-sided Active-Message path (`get`/`put`), in which the
+//    target CPU translates SVD handles to addresses and optionally
+//    piggybacks the base address back to populate the initiator's remote
+//    address cache; and
+//  * the one-sided RDMA path (`rdma_get`/`rdma_put`), usable only when the
+//    initiator already knows the remote physical address (a cache hit) —
+//    it "bypasses the standard messaging system completely" (Sec. 3.2) and
+//    involves no CPU on the remote end.
+//
+// Target-side behaviour (SVD translation, pinning, data movement) is
+// delegated to an AmTarget implemented by the runtime; the transports own
+// all *timing* and hardware-resource contention.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/registration_cache.h"
+#include "net/machine.h"
+#include "net/message.h"
+#include "sim/task.h"
+
+namespace xlupc::net {
+
+/// Thrown when a one-sided operation addresses memory the target has not
+/// pinned — a correctness violation the runtime must never cause.
+class RdmaProtocolError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Target-side services, implemented by the runtime. Handlers are invoked
+/// by the transport *after* it has acquired the proper handler CPU and
+/// charged dispatch time; any registration work they report is charged on
+/// the same CPU afterwards.
+class AmTarget {
+ public:
+  virtual ~AmTarget() = default;
+
+  struct GetServe {
+    std::vector<std::byte> data;       ///< bytes read from the object
+    Addr src_addr = kNullAddr;         ///< local address of the data
+    std::optional<BaseInfo> base;      ///< piggyback when requested
+    std::size_t reg_new_bytes = 0;     ///< pinning work performed
+    std::size_t reg_new_handles = 0;
+    std::size_t reg_evicted_handles = 0;  ///< deregistrations forced
+  };
+  struct PutServe {
+    Addr dst_addr = kNullAddr;
+    std::optional<BaseInfo> base;
+    std::size_t reg_new_bytes = 0;
+    std::size_t reg_new_handles = 0;
+    std::size_t reg_evicted_handles = 0;
+  };
+
+  virtual GetServe serve_get(NodeId target, const GetRequest& req) = 0;
+  virtual PutServe serve_put(NodeId target, PutRequest&& req) = 0;
+  virtual void serve_control(NodeId target, NodeId source,
+                             const ControlMsg& msg) = 0;
+
+  /// Translate + pin for a rendezvous PUT without moving data yet.
+  virtual PutServe serve_put_rendezvous(NodeId target, const PutRequest& req,
+                                        std::size_t len) = 0;
+  /// Deliver rendezvous PUT payload straight into target memory (DMA).
+  virtual void deliver_put_payload(NodeId target, std::uint64_t svd_handle,
+                                   std::uint64_t offset,
+                                   std::vector<std::byte>&& data) = 0;
+
+  /// Validated pointer for the RDMA engine. Returns nullptr when
+  /// [addr, addr+len) is valid memory but not currently pinned (the
+  /// operation is NAKed and the initiator must fall back to the AM path);
+  /// throws RdmaProtocolError when the address range itself is bogus.
+  virtual std::byte* rdma_memory(NodeId target, Addr addr,
+                                 std::size_t len) = 0;
+};
+
+/// Aggregate operation counters (per transport instance).
+struct TransportStats {
+  std::uint64_t am_gets = 0;
+  std::uint64_t am_puts = 0;
+  std::uint64_t rendezvous_gets = 0;
+  std::uint64_t rendezvous_puts = 0;
+  std::uint64_t rdma_gets = 0;
+  std::uint64_t rdma_puts = 0;
+  std::uint64_t rdma_naks = 0;
+  std::uint64_t control_msgs = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+/// Identifies the initiating UPC thread's seat in the machine.
+struct Initiator {
+  NodeId node = 0;
+  std::uint32_t core = 0;
+};
+
+class Transport {
+ public:
+  /// Called on the initiator when a PUT's acknowledgement arrives (remote
+  /// completion); carries the piggybacked base address when present.
+  using PutAckHook = std::function<void(const PutAck&)>;
+
+  Transport(Machine& machine, AmTarget& target);
+  virtual ~Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Two-sided GET via the default SVD path (Fig. 3a / Fig. 5).
+  /// Completes when the data is available at the initiator.
+  sim::Task<GetReply> get(Initiator from, NodeId dst, GetRequest req);
+
+  /// Two-sided PUT. Completes at *local* completion (source buffer
+  /// reusable); `on_ack` fires later at remote completion.
+  sim::Task<void> put(Initiator from, NodeId dst, PutRequest req,
+                      PutAckHook on_ack);
+
+  /// One-sided RDMA read of [raddr, raddr+len) at `dst` (Fig. 3b).
+  /// Returns nullopt when the target NAKs the window (memory no longer
+  /// pinned); the caller invalidates its cache entry and falls back.
+  sim::Task<std::optional<std::vector<std::byte>>> rdma_get(Initiator from,
+                                                            NodeId dst,
+                                                            Addr raddr,
+                                                            std::uint32_t len);
+
+  /// One-sided RDMA write; completes at local completion, `on_done` fires
+  /// when the data has landed in target memory. Returns false (NAK) when
+  /// the target window is not pinned; `on_done` does not fire then.
+  sim::Task<bool> rdma_put(Initiator from, NodeId dst, Addr raddr,
+                           std::vector<std::byte> data,
+                           std::function<void()> on_done);
+
+  /// Small control AM (SVD maintenance, lock protocol). Completes when the
+  /// message has been handled at the target.
+  sim::Task<void> control(Initiator from, NodeId dst, ControlMsg msg);
+
+  /// Ensure an initiator-side private buffer is registered for zero-copy
+  /// (charged on the caller's core; cached with lazy deregistration).
+  sim::Task<void> ensure_local_registered(Initiator from, Addr key,
+                                          std::size_t len);
+
+  const TransportStats& stats() const noexcept { return stats_; }
+  const mem::RegistrationCache& reg_cache(NodeId node) const {
+    return reg_caches_.at(node);
+  }
+  mem::RegistrationCache& reg_cache_mut(NodeId node) {
+    return reg_caches_.at(node);
+  }
+  Machine& machine() noexcept { return machine_; }
+
+ protected:
+  /// The CPU that runs AM handlers at `dst` for data owned by
+  /// `target_core`: GM uses the application core itself (no overlap of
+  /// communication and computation); LAPI uses the dedicated
+  /// communication processor.
+  virtual sim::Resource& handler_cpu(NodeId dst, std::uint32_t target_core) = 0;
+
+  sim::Task<void> charge_reg_cache(sim::Resource& cpu, NodeId node, Addr addr,
+                                   std::size_t len);
+
+  Machine& machine_;
+  AmTarget& target_;
+  std::vector<mem::RegistrationCache> reg_caches_;
+  TransportStats stats_;
+
+ private:
+  sim::Task<GetReply> get_eager(Initiator from, NodeId dst, GetRequest req);
+  sim::Task<GetReply> get_rendezvous(Initiator from, NodeId dst,
+                                     GetRequest req);
+  sim::Task<void> put_eager(Initiator from, NodeId dst, PutRequest req,
+                            PutAckHook on_ack);
+  sim::Task<void> put_rendezvous(Initiator from, NodeId dst, PutRequest req,
+                                 PutAckHook on_ack);
+  // Remote half of an eager PUT, detached after local completion.
+  void spawn_put_remote(Initiator from, NodeId dst, PutRequest req,
+                        PutAckHook on_ack);
+  sim::Task<void> put_remote(Initiator from, NodeId dst, PutRequest req,
+                             PutAckHook on_ack);
+  sim::Task<void> put_payload_remote(Initiator from, NodeId dst,
+                                     PutRequest req, PutAck ack,
+                                     PutAckHook on_ack);
+};
+
+/// Myrinet/GM transport (paper Sec. 3.3): handlers run on the target
+/// application core — communication does not overlap computation.
+class GmTransport final : public Transport {
+ public:
+  using Transport::Transport;
+
+ protected:
+  sim::Resource& handler_cpu(NodeId dst, std::uint32_t target_core) override {
+    return machine_.core(dst, target_core);
+  }
+};
+
+/// LAPI transport (paper Sec. 3.2): header handlers run on a dedicated
+/// communication processor — communication overlaps computation.
+class LapiTransport final : public Transport {
+ public:
+  using Transport::Transport;
+
+ protected:
+  sim::Resource& handler_cpu(NodeId dst, std::uint32_t /*target_core*/) override {
+    return machine_.comm_cpu(dst);
+  }
+};
+
+/// Factory selecting the transport from the platform parameters.
+std::unique_ptr<Transport> make_transport(Machine& machine, AmTarget& target);
+
+}  // namespace xlupc::net

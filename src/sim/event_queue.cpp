@@ -1,0 +1,20 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace xlupc::sim {
+
+void EventQueue::schedule(Time t, Callback fn) {
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+Time EventQueue::pop_and_run() {
+  // Move the callback out before popping so it can reschedule freely.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  ++executed_;
+  ev.fn();
+  return ev.time;
+}
+
+}  // namespace xlupc::sim

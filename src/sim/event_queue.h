@@ -1,0 +1,57 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Events with equal timestamps are delivered in insertion order (FIFO),
+// which makes every simulation deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace xlupc::sim {
+
+/// Min-heap of timed callbacks with stable ordering for ties.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to run at absolute time `t`.
+  void schedule(Time t, Callback fn);
+
+  /// True when no events remain.
+  bool empty() const noexcept { return heap_.empty(); }
+
+  /// Number of pending events.
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  Time next_time() const { return heap_.top().time; }
+
+  /// Remove and run the earliest event; returns its timestamp.
+  Time pop_and_run();
+
+  /// Total number of events executed so far (for micro-benchmarks/tests).
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace xlupc::sim

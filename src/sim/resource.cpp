@@ -1,0 +1,45 @@
+#include "sim/resource.h"
+
+#include <stdexcept>
+
+namespace xlupc::sim {
+
+void Resource::account() const {
+  busy_accum_ += in_use_ * (sim_->now() - last_change_);
+  last_change_ = sim_->now();
+}
+
+void Resource::grant_one() {
+  account();
+  ++in_use_;
+}
+
+void Resource::release() {
+  if (in_use_ == 0) {
+    throw std::logic_error("Resource::release without acquire");
+  }
+  if (!queue_.empty()) {
+    // Hand the unit directly to the first waiter: in_use_ stays constant
+    // (the unit remains reserved for the waiter until it resumes).
+    ++pending_handoffs_;
+    auto h = queue_.front();
+    queue_.pop_front();
+    sim_->post_resume(h);
+  } else {
+    account();
+    --in_use_;
+  }
+}
+
+Task<> Resource::use(Duration d) {
+  co_await acquire();
+  co_await sim_->delay(d);
+  release();
+}
+
+Duration Resource::busy_time() const {
+  account();
+  return busy_accum_;
+}
+
+}  // namespace xlupc::sim

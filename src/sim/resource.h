@@ -1,0 +1,79 @@
+// FIFO resources modelling contended hardware (CPU cores, NIC engines).
+//
+// A Resource has an integer capacity; processes acquire one unit, hold it
+// for some simulated time, then release. Waiters queue in FIFO order,
+// which models the in-order service of NIC send queues and the run queue
+// behaviour the paper's Field analysis depends on. Busy time is tracked so
+// experiments can report utilization.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace xlupc::sim {
+
+class Resource {
+ public:
+  Resource(Simulator& sim, std::uint64_t capacity)
+      : sim_(&sim), capacity_(capacity) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Awaitable acquisition of one capacity unit (FIFO). When a unit is
+  /// released to a queued waiter it stays reserved until that waiter runs,
+  /// so later arrivals can never overtake the queue.
+  auto acquire() {
+    struct Awaiter {
+      Resource* r;
+      bool await_ready() const noexcept {
+        return r->in_use_ < r->capacity_ && r->queue_.empty() &&
+               r->pending_handoffs_ == 0;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        r->queue_.push_back(h);
+      }
+      void await_resume() const {
+        if (r->pending_handoffs_ > 0) {
+          --r->pending_handoffs_;  // unit was reserved in release()
+        } else {
+          r->grant_one();
+        }
+      }
+    };
+    return Awaiter{this};
+  }
+
+  /// Release one previously acquired unit.
+  void release();
+
+  /// Convenience: acquire, hold for `d`, release.
+  Task<> use(Duration d);
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t in_use() const noexcept { return in_use_; }
+  std::uint64_t queue_length() const noexcept { return queue_.size(); }
+
+  /// Accumulated unit-busy nanoseconds (integral of in_use over time).
+  Duration busy_time() const;
+
+ private:
+  void grant_one();
+  void account() const;
+
+  Simulator* sim_;
+  std::uint64_t capacity_;
+  std::uint64_t in_use_ = 0;
+  std::deque<std::coroutine_handle<>> queue_;
+  mutable std::uint64_t pending_handoffs_ = 0;
+  mutable Time last_change_ = 0;
+  mutable Duration busy_accum_ = 0;
+};
+
+/// Acquire `r`, hold it for `d`, release — the common usage pattern.
+inline Task<> hold(Resource& r, Duration d) { return r.use(d); }
+
+}  // namespace xlupc::sim

@@ -1,0 +1,57 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace xlupc::sim {
+
+void Simulator::schedule_at(Time t, EventQueue::Callback fn) {
+  if (t < now_) {
+    throw std::logic_error("Simulator::schedule_at: time in the past");
+  }
+  queue_.schedule(t, std::move(fn));
+}
+
+Simulator::Detached Simulator::drive(Task<> task) {
+  ++live_;
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    if (!failure_) failure_ = std::current_exception();
+  }
+  --live_;
+}
+
+void Simulator::spawn(Task<> task) {
+  // The detached driver starts eagerly and immediately suspends inside the
+  // task's initial_suspend-free first await point (tasks are lazy, so the
+  // body runs as soon as the driver awaits it, within the caller's event).
+  drive(std::move(task));
+}
+
+void Simulator::rethrow_if_failed() {
+  if (failure_) {
+    auto e = std::exchange(failure_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+Time Simulator::run() {
+  while (!queue_.empty() && !failure_) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+  }
+  rethrow_if_failed();
+  return now_;
+}
+
+Time Simulator::run_until(Time deadline) {
+  while (!queue_.empty() && !failure_ && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+  }
+  rethrow_if_failed();
+  return now_;
+}
+
+}  // namespace xlupc::sim

@@ -1,0 +1,97 @@
+// The discrete-event simulator driving all simulated processes.
+//
+// Simulated processes are Task<> coroutines spawned on the simulator; they
+// suspend on `delay()`, resource acquisition, or synchronization primitives,
+// and the event loop resumes them at the right simulated instant. The run
+// is fully deterministic: equal-time events fire in schedule order.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace xlupc::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedule a callback at absolute simulated time `t` (>= now).
+  void schedule_at(Time t, EventQueue::Callback fn);
+
+  /// Schedule a callback `d` nanoseconds from now.
+  void schedule_after(Duration d, EventQueue::Callback fn) {
+    schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Schedule a callback at the current time (runs after the current event).
+  void post(EventQueue::Callback fn) { schedule_at(now_, std::move(fn)); }
+
+  /// Resume a suspended coroutine at the current time.
+  void post_resume(std::coroutine_handle<> h) {
+    post([h] { h.resume(); });
+  }
+
+  /// Awaitable that suspends the caller for `d` simulated nanoseconds.
+  auto delay(Duration d) {
+    struct Awaiter {
+      Simulator* sim;
+      Duration d;
+      bool await_ready() const noexcept { return d == 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->schedule_after(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  /// Start a detached simulated process. Its coroutine frame lives until
+  /// completion; the first uncaught exception aborts `run()` and rethrows.
+  void spawn(Task<> task);
+
+  /// Run until no events remain (or an exception escapes a process).
+  /// Returns the final simulated time.
+  Time run();
+
+  /// Run until simulated time would exceed `deadline`; events at exactly
+  /// `deadline` still run. Returns the final simulated time.
+  Time run_until(Time deadline);
+
+  /// Number of processes spawned and still incomplete.
+  std::uint64_t live_processes() const noexcept { return live_; }
+
+  /// Total events executed (determinism / perf diagnostics).
+  std::uint64_t events_executed() const noexcept { return queue_.executed(); }
+
+ private:
+  struct Detached {
+    struct promise_type {
+      Detached get_return_object() const noexcept { return {}; }
+      std::suspend_never initial_suspend() const noexcept { return {}; }
+      std::suspend_never final_suspend() const noexcept { return {}; }
+      void return_void() const noexcept {}
+      void unhandled_exception() { std::terminate(); }
+    };
+  };
+  Detached drive(Task<> task);
+
+  void rethrow_if_failed();
+
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t live_ = 0;
+  std::exception_ptr failure_;
+};
+
+}  // namespace xlupc::sim

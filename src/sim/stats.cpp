@@ -1,0 +1,66 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace xlupc::sim {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStat::ci95_half() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStat::ci95_rel() const noexcept {
+  return mean_ == 0.0 ? 0.0 : ci95_half() / mean_;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) {
+    throw std::logic_error("Samples::percentile on empty sample set");
+  }
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const double idx = p * static_cast<double>(values_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double improvement_percent(double baseline, double optimized) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (baseline - optimized) / baseline;
+}
+
+}  // namespace xlupc::sim

@@ -1,0 +1,63 @@
+// Statistics helpers for experiments.
+//
+// The paper (Sec. 4) runs each experiment multiple times, assumes
+// independent samples and a normal distribution, and reports results at a
+// 95% confidence level; Summary::ci95_half reproduces that methodology.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xlupc::sim {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Half-width of the 95% confidence interval for the mean (normal
+  /// approximation, z = 1.96), as used in the paper's methodology.
+  double ci95_half() const noexcept;
+  /// Relative CI half-width (ci95_half / mean); 0 when mean is 0.
+  double ci95_rel() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample collection with percentile queries (sorts lazily on demand).
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const noexcept { return values_.size(); }
+  double mean() const;
+  /// p in [0,1]; linear interpolation between order statistics.
+  double percentile(double p) const;
+  double median() const { return percentile(0.5); }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Percentage improvement as defined in the paper's Fig. 6/9 captions:
+/// 100*(Z - W)/Z where Z is the baseline and W the optimized time.
+double improvement_percent(double baseline, double optimized);
+
+}  // namespace xlupc::sim

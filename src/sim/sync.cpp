@@ -1,0 +1,42 @@
+#include "sim/sync.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace xlupc::sim {
+
+void Trigger::fire() {
+  if (fired_) return;
+  fired_ = true;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) {
+    sim_->post_resume(h);
+  }
+}
+
+void CountdownLatch::count_down() {
+  if (remaining_ == 0) {
+    throw std::logic_error("CountdownLatch::count_down below zero");
+  }
+  if (--remaining_ == 0) trigger_.fire();
+}
+
+bool CyclicBarrier::arrive_and_maybe_wait(std::coroutine_handle<> h) {
+  ++arrived_;
+  if (arrived_ < parties_) {
+    waiters_.push_back(h);
+    return true;  // suspend until the generation completes
+  }
+  // Last arriver: release everyone and reset for the next generation.
+  arrived_ = 0;
+  ++generation_;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto w : waiters) {
+    sim_->post_resume(w);
+  }
+  return false;  // last arriver continues immediately
+}
+
+}  // namespace xlupc::sim

@@ -1,0 +1,126 @@
+// Synchronization primitives for simulated processes.
+//
+// All primitives resume waiters through Simulator::post so resumption
+// happens inside the event loop (never recursively inside fire()).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace xlupc::sim {
+
+/// One-shot event: processes await it; `fire()` releases all current and
+/// future waiters. Awaiting an already-fired trigger does not suspend.
+class Trigger {
+ public:
+  explicit Trigger(Simulator& sim) : sim_(&sim) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  bool fired() const noexcept { return fired_; }
+
+  void fire();
+
+  auto wait() {
+    struct Awaiter {
+      Trigger* t;
+      bool await_ready() const noexcept { return t->fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        t->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Single-producer completion carrying a value of type T.
+template <class T>
+class Future {
+ public:
+  explicit Future(Simulator& sim) : trigger_(sim) {}
+
+  void set(T value) {
+    value_.emplace(std::move(value));
+    trigger_.fire();
+  }
+
+  bool ready() const noexcept { return trigger_.fired(); }
+
+  Task<T> get() {
+    co_await trigger_.wait();
+    co_return std::move(*value_);
+  }
+
+ private:
+  Trigger trigger_;
+  std::optional<T> value_;
+};
+
+/// Count-down latch: `wait()` suspends until `count_down()` has been called
+/// `count` times.
+class CountdownLatch {
+ public:
+  CountdownLatch(Simulator& sim, std::uint64_t count)
+      : trigger_(sim), remaining_(count) {
+    if (remaining_ == 0) trigger_.fire();
+  }
+
+  void count_down();
+
+  auto wait() { return trigger_.wait(); }
+
+  std::uint64_t remaining() const noexcept { return remaining_; }
+
+ private:
+  Trigger trigger_;
+  std::uint64_t remaining_;
+};
+
+/// Reusable barrier for a fixed set of `parties` processes, as used by
+/// upc_barrier. Arrival order within a generation is irrelevant; the last
+/// arriver releases everyone and the barrier resets for the next phase.
+class CyclicBarrier {
+ public:
+  CyclicBarrier(Simulator& sim, std::uint64_t parties)
+      : sim_(&sim), parties_(parties) {}
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  /// Awaitable arrival; resumes when all parties of this generation arrived.
+  auto arrive() {
+    struct Awaiter {
+      CyclicBarrier* b;
+      bool await_ready() const noexcept { return b->parties_ <= 1; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        return b->arrive_and_maybe_wait(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  std::uint64_t generation() const noexcept { return generation_; }
+  std::uint64_t parties() const noexcept { return parties_; }
+
+ private:
+  // Returns true when the caller must suspend (it is not the last arriver).
+  bool arrive_and_maybe_wait(std::coroutine_handle<> h);
+
+  Simulator* sim_;
+  std::uint64_t parties_;
+  std::uint64_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace xlupc::sim

@@ -1,0 +1,41 @@
+// Simulated-time primitives for the discrete-event engine.
+//
+// All simulated time is kept in integer nanoseconds so that event ordering
+// is exact and runs are reproducible bit-for-bit across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace xlupc::sim {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using Time = std::uint64_t;
+
+/// A span of simulated time in nanoseconds.
+using Duration = std::uint64_t;
+
+/// Construct a duration from nanoseconds (identity; for readability).
+constexpr Duration ns(std::uint64_t v) { return v; }
+
+/// Construct a duration from microseconds.
+constexpr Duration us(double v) { return static_cast<Duration>(v * 1e3); }
+
+/// Construct a duration from milliseconds.
+constexpr Duration ms(double v) { return static_cast<Duration>(v * 1e6); }
+
+/// Construct a duration from seconds.
+constexpr Duration sec(double v) { return static_cast<Duration>(v * 1e9); }
+
+/// Convert a duration to microseconds (for reporting).
+constexpr double to_us(Duration d) { return static_cast<double>(d) / 1e3; }
+
+/// Convert a duration to milliseconds (for reporting).
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1e6; }
+
+/// Time for `bytes` to stream over a link of `bytes_per_sec` bandwidth.
+constexpr Duration transfer_time(std::uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0 || bytes_per_sec <= 0.0) return 0;
+  return static_cast<Duration>(static_cast<double>(bytes) / bytes_per_sec * 1e9);
+}
+
+}  // namespace xlupc::sim

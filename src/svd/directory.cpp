@@ -1,0 +1,101 @@
+#include "svd/directory.h"
+
+#include <stdexcept>
+
+namespace xlupc::svd {
+
+Directory::Directory(std::uint32_t threads) : threads_(threads) {
+  if (threads == 0) {
+    throw std::invalid_argument("Directory: thread count must be positive");
+  }
+  partitions_.resize(static_cast<std::size_t>(threads) + 1);
+}
+
+Directory::Partition& Directory::partition_for(std::uint32_t partition) {
+  if (partition == kAllPartition) return partitions_.back();
+  if (partition >= threads_) {
+    throw std::out_of_range("Directory: bad partition number");
+  }
+  return partitions_[partition];
+}
+
+const Directory::Partition& Directory::partition_for(
+    std::uint32_t partition) const {
+  return const_cast<Directory*>(this)->partition_for(partition);
+}
+
+Handle Directory::add_local(std::uint32_t partition, ThreadId writer,
+                            ControlBlock cb) {
+  // Single-writer rule (Sec. 2.1): each thread updates only its own
+  // partition; the ALL partition is written under collective
+  // synchronization, so any thread may append there.
+  if (partition != kAllPartition && partition != writer) {
+    throw std::logic_error(
+        "Directory::add_local: thread may only write its own partition");
+  }
+  Partition& part = partition_for(partition);
+  const std::uint32_t index = part.next_index++;
+  part.entries.emplace(index, cb);
+  ++adds_;
+  return Handle{partition, index};
+}
+
+void Directory::add_remote(Handle h, std::uint64_t total_bytes,
+                           ObjectKind kind) {
+  Partition& part = partition_for(h.partition);
+  ControlBlock cb;
+  cb.kind = kind;
+  cb.total_bytes = total_bytes;
+  // No local address: translation for this object is impossible on this
+  // replica — that is the point of the design.
+  part.entries.emplace(h.index, cb);
+  // Keep index allocation ahead of remotely-announced handles so a later
+  // local allocation cannot collide.
+  if (h.index >= part.next_index) part.next_index = h.index + 1;
+  ++adds_;
+}
+
+ControlBlock* Directory::find(Handle h) {
+  Partition& part = partition_for(h.partition);
+  auto it = part.entries.find(h.index);
+  return it == part.entries.end() ? nullptr : &it->second;
+}
+
+const ControlBlock* Directory::find(Handle h) const {
+  return const_cast<Directory*>(this)->find(h);
+}
+
+Addr Directory::translate(Handle h, std::uint64_t offset) const {
+  const ControlBlock* cb = find(h);
+  if (cb == nullptr) {
+    throw std::logic_error("Directory::translate: unknown handle");
+  }
+  if (cb->local_base == kNullAddr) {
+    throw std::logic_error(
+        "Directory::translate: no local address on this replica "
+        "(translation only happens on the home node)");
+  }
+  if (offset >= cb->local_bytes && !(offset == 0 && cb->local_bytes == 0)) {
+    throw std::out_of_range("Directory::translate: offset beyond local piece");
+  }
+  return cb->local_base + offset;
+}
+
+bool Directory::remove(Handle h) {
+  Partition& part = partition_for(h.partition);
+  const bool erased = part.entries.erase(h.index) > 0;
+  if (erased) ++removes_;
+  return erased;
+}
+
+std::size_t Directory::partition_size(std::uint32_t partition) const {
+  return partition_for(partition).entries.size();
+}
+
+std::size_t Directory::size() const {
+  std::size_t total = 0;
+  for (const auto& p : partitions_) total += p.entries.size();
+  return total;
+}
+
+}  // namespace xlupc::svd

@@ -1,0 +1,188 @@
+// Tests for the remaining public-API surface: shared scalars,
+// shared-to-shared memcpy, SharedArray/SharedArray2D wrappers and
+// global_alloc/free edge cases.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/shared_array.h"
+#include "core/shared_scalar.h"
+
+namespace xlupc::core {
+namespace {
+
+using sim::Task;
+
+RuntimeConfig config(std::uint32_t nodes, std::uint32_t tpn) {
+  RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.nodes = nodes;
+  cfg.threads_per_node = tpn;
+  return cfg;
+}
+
+TEST(SharedScalarApi, ReadWriteFromEveryThread) {
+  Runtime rt(config(2, 2));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto s = co_await SharedScalar<double>::all_alloc(th, /*home=*/1);
+    co_await th.barrier();
+    if (th.id() == 3) co_await s.write_strict(th, 2.5);
+    co_await th.barrier();
+    EXPECT_DOUBLE_EQ(co_await s.read(th), 2.5);
+    co_await th.barrier();
+  });
+}
+
+TEST(SharedScalarApi, FetchAddOnScalarCounter) {
+  Runtime rt(config(2, 2));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto s = co_await SharedScalar<std::uint64_t>::all_alloc(th, 2);
+    co_await th.barrier();
+    (void)co_await s.fetch_add(th, th.id() + 1);
+    co_await th.barrier();
+    EXPECT_EQ(co_await s.read(th), 1u + 2 + 3 + 4);
+    co_await th.barrier();
+  });
+}
+
+TEST(SharedScalarApi, HomeAffinityIsRespected) {
+  Runtime rt(config(2, 2));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto s = co_await SharedScalar<int>::all_alloc(th, 3);
+    EXPECT_EQ(th.threadof(s.desc(), s.home()), 3u);
+    co_await th.barrier();
+    if (th.id() == 3) {
+      // Home access must be the local fast path.
+      const auto before = rt.counters().local_gets;
+      (void)co_await s.read(th);
+      EXPECT_EQ(rt.counters().local_gets, before + 1);
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(MemcpyShared, CopiesAcrossArraysAndBoundaries) {
+  Runtime rt(config(2, 2));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto src = co_await th.all_alloc(48, 4, 5);  // block 5
+    auto dst = co_await th.all_alloc(48, 4, 7);  // different blocking
+    co_await th.barrier();
+    if (th.id() == 0) {
+      for (std::uint64_t i = 0; i < 48; ++i) {
+        co_await th.write<std::uint32_t>(src, i, 900 + i);
+      }
+      co_await th.fence();
+      co_await th.memcpy_shared(dst, 3, src, 10, 30);
+      co_await th.fence();
+      for (std::uint64_t k = 0; k < 30; ++k) {
+        EXPECT_EQ(co_await th.read<std::uint32_t>(dst, 3 + k), 910 + k);
+      }
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(MemcpyShared, SameArrayDisjointRanges) {
+  Runtime rt(config(2, 1));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(64, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        co_await th.write<std::uint64_t>(a, i, 50 + i);
+      }
+      co_await th.fence();
+      // Copy thread 0's block into thread 1's (remote) block.
+      co_await th.memcpy_shared(a, 8, a, 0, 8);
+      co_await th.fence();
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(co_await th.read<std::uint64_t>(a, 8 + i), 50 + i);
+      }
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(MemcpyShared, MismatchedElementSizesThrow) {
+  Runtime rt(config(2, 1));
+  EXPECT_THROW(rt.run([&](UpcThread& th) -> Task<void> {
+                 auto a = co_await th.all_alloc(8, 4, 4);
+                 auto b = co_await th.all_alloc(8, 8, 4);
+                 co_await th.memcpy_shared(b, 0, a, 0, 4);
+               }),
+               std::invalid_argument);
+}
+
+TEST(SharedArrayApi, BulkHelpersRoundTrip) {
+  Runtime rt(config(2, 2));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto arr = co_await SharedArray<std::int32_t>::all_alloc(th, 40, 6);
+    co_await th.barrier();
+    if (th.id() == 1) {
+      std::vector<std::int32_t> in(17);
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        in[i] = static_cast<std::int32_t>(i) - 5;
+      }
+      co_await arr.write_many(th, 4, in);
+      co_await th.fence();
+      std::vector<std::int32_t> out(17);
+      co_await arr.read_many(th, 4, out);
+      EXPECT_EQ(in, out);
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(SharedArrayApi, GlobalAllocWrapper) {
+  Runtime rt(config(3, 1));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    if (th.id() == 2) {
+      auto arr = co_await SharedArray<std::uint64_t>::global_alloc(th, 30, 10);
+      EXPECT_EQ(arr.desc().handle.partition, 2u);
+      co_await arr.write(th, 0, 11);
+      EXPECT_EQ(co_await arr.read(th, 0), 11u);
+      co_await arr.free(th);
+    }
+    co_await th.barrier();
+  });
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(rt.memory(n).live_allocations(), 0u);
+  }
+}
+
+TEST(SharedArrayApi, ZeroRemainderDistribution) {
+  // N not divisible by THREADS: the last thread's piece is smaller.
+  Runtime rt(config(2, 2));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto arr = co_await SharedArray<std::uint8_t>::all_alloc(th, 13);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      for (std::uint64_t i = 0; i < 13; ++i) {
+        co_await arr.write(th, i, static_cast<std::uint8_t>(i));
+      }
+      for (std::uint64_t i = 0; i < 13; ++i) {
+        EXPECT_EQ(co_await arr.read(th, i), i);
+      }
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(SharedArray2DApi, TileOwnershipAndFree) {
+  Runtime rt(config(2, 2));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto grid = co_await SharedArray2D<float>::all_alloc(th, 8, 8, 4, 4);
+    EXPECT_EQ(grid.rows(), 8u);
+    EXPECT_EQ(grid.cols(), 8u);
+    EXPECT_EQ(grid.threadof(0, 0), 0u);
+    EXPECT_EQ(grid.threadof(4, 4), 3u);
+    co_await th.barrier();
+    if (th.id() == 0) co_await grid.free(th);
+    co_await th.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace xlupc::core

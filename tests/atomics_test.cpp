@@ -1,0 +1,104 @@
+// Tests for home-node atomic fetch-and-add.
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+
+namespace xlupc::core {
+namespace {
+
+using sim::Task;
+
+RuntimeConfig config(std::uint32_t nodes, std::uint32_t tpn) {
+  RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.nodes = nodes;
+  cfg.threads_per_node = tpn;
+  return cfg;
+}
+
+TEST(FetchAdd, ReturnsOldValueLocalAndRemote) {
+  Runtime rt(config(2, 1));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      // Local (element 0 is affine to thread 0).
+      EXPECT_EQ(co_await th.fetch_add(a, 0, 5), 0u);
+      EXPECT_EQ(co_await th.fetch_add(a, 0, 3), 5u);
+      // Remote (element 8 lives on node 1).
+      EXPECT_EQ(co_await th.fetch_add(a, 8, 7), 0u);
+      EXPECT_EQ(co_await th.fetch_add(a, 8, 1), 7u);
+      EXPECT_EQ(co_await th.read<std::uint64_t>(a, 8), 8u);
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(FetchAdd, ConcurrentUpdatesNeverLost) {
+  Runtime rt(config(4, 4));
+  constexpr std::uint64_t kAddsPerThread = 25;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 1);  // counter on thread 0
+    co_await th.barrier();
+    for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+      (void)co_await th.fetch_add(a, 0, 1);
+    }
+    co_await th.barrier();
+    if (th.id() == 0) {
+      EXPECT_EQ(co_await th.read<std::uint64_t>(a, 0),
+                kAddsPerThread * rt.threads());
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(FetchAdd, OldValuesFormAPermutation) {
+  // Each of N increments of +1 must observe a distinct old value
+  // 0..N-1 — the definition of atomicity.
+  Runtime rt(config(2, 4));
+  std::vector<int> seen(8 * 10, 0);
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(8, 8, 1);
+    co_await th.barrier();
+    for (int i = 0; i < 10; ++i) {
+      const auto old = co_await th.fetch_add(a, 3, 1);
+      ++seen[old];
+    }
+    co_await th.barrier();
+  });
+  for (std::size_t v = 0; v < seen.size(); ++v) {
+    EXPECT_EQ(seen[v], 1) << "old value " << v;
+  }
+}
+
+TEST(FetchAdd, RejectsNonWordElements) {
+  Runtime rt(config(2, 1));
+  EXPECT_THROW(rt.run([&](UpcThread& th) -> Task<void> {
+                 auto a = co_await th.all_alloc(16, 4, 8);  // 4-byte elems
+                 co_await th.barrier();
+                 (void)co_await th.fetch_add(a, 0, 1);
+               }),
+               std::invalid_argument);
+}
+
+TEST(FetchAdd, Deterministic) {
+  auto run_once = [] {
+    Runtime rt(config(2, 2));
+    std::uint64_t final = 0;
+    rt.run([&](UpcThread& th) -> Task<void> {
+      auto a = co_await th.all_alloc(4, 8, 1);
+      co_await th.barrier();
+      for (int i = 0; i < 5; ++i) {
+        (void)co_await th.fetch_add(a, 1, th.id() + 1);
+      }
+      co_await th.barrier();
+      if (th.id() == 0) final = co_await th.read<std::uint64_t>(a, 1);
+      co_await th.barrier();
+    });
+    return std::pair(final, rt.elapsed());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace xlupc::core

@@ -1,0 +1,90 @@
+// Tests for the experiment-harness utilities: table rendering, time
+// helpers and the microbenchmark wrapper's contract.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchsupport/microbench.h"
+#include "benchsupport/table.h"
+#include "sim/time.h"
+
+namespace xlupc::bench {
+namespace {
+
+TEST(TimeHelpers, UnitConversionsRoundTrip) {
+  EXPECT_EQ(sim::us(1.0), 1000u);
+  EXPECT_EQ(sim::ms(1.0), 1000000u);
+  EXPECT_EQ(sim::sec(1.0), 1000000000u);
+  EXPECT_DOUBLE_EQ(sim::to_us(sim::us(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(sim::to_ms(sim::ms(3.0)), 3.0);
+}
+
+TEST(TimeHelpers, TransferTimeMatchesBandwidth) {
+  // 1000 bytes at 1 GB/s = 1 us.
+  EXPECT_EQ(sim::transfer_time(1000, 1e9), sim::us(1.0));
+  EXPECT_EQ(sim::transfer_time(0, 1e9), 0u);
+  EXPECT_EQ(sim::transfer_time(1000, 0.0), 0u);
+  // Proportionality.
+  EXPECT_EQ(sim::transfer_time(2000, 1e9), 2 * sim::transfer_time(1000, 1e9));
+}
+
+TEST(Table, AlignsColumnsAndSeparatesHeader) {
+  Table t({"a", "long-header", "c"});
+  t.row({"1", "2", "3"});
+  t.row({"10", "20", "30"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // 3 content lines + separator.
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(Table, CsvEscapesNothingButJoinsWithCommas) {
+  Table t({"x", "y"});
+  t.row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Microbench, WarmupIsExcludedFromMeasurement) {
+  // With warmup, the measured mean must reflect the steady (RDMA) state,
+  // not the first-miss population cost.
+  core::RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  const auto with_warm = measure_op(cfg, Op::kGet, MicroParams{8, 4, 8});
+  const auto no_warm = measure_op(cfg, Op::kGet, MicroParams{8, 0, 8});
+  EXPECT_LT(with_warm.mean_us, no_warm.mean_us);
+}
+
+TEST(Microbench, ImprovementUsesPaperFormula) {
+  const auto r = measure_improvement(net::mare_nostrum_gm(), Op::kGet,
+                                     MicroParams{8, 3, 6});
+  EXPECT_NEAR(r.improvement_pct,
+              100.0 * (r.baseline_us - r.cached_us) / r.baseline_us, 1e-9);
+  EXPECT_GT(r.baseline_us, r.cached_us);
+}
+
+TEST(Microbench, ForcesTwoNodeSingleThreadShape) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::power5_lapi();
+  cfg.nodes = 16;            // overridden by the harness
+  cfg.threads_per_node = 8;  // overridden by the harness
+  const auto r = measure_op(std::move(cfg), Op::kGet, MicroParams{8, 1, 2});
+  // All remote gets: one active thread, one remote node.
+  EXPECT_EQ(r.counters.shm_gets, 0u);
+  EXPECT_GT(r.counters.am_gets + r.counters.rdma_gets, 0u);
+}
+
+}  // namespace
+}  // namespace xlupc::bench

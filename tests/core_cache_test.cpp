@@ -1,0 +1,147 @@
+// Tests for the remote address cache — the paper's core data structure.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/address_cache.h"
+#include "sim/rng.h"
+
+namespace xlupc::core {
+namespace {
+
+net::BaseInfo info(Addr base) { return net::BaseInfo{base, base ^ 0xabc}; }
+
+TEST(AddressCache, MissThenInsertThenHit) {
+  AddressCache cache(100);
+  const CacheKey key{42, 3, 0};
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.insert(key, info(0x1000));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->base, 0x1000u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(AddressCache, KeysDistinguishHandleNodeAndChunk) {
+  AddressCache cache(100);
+  cache.insert(CacheKey{1, 1, 0}, info(0x10));
+  cache.insert(CacheKey{1, 2, 0}, info(0x20));
+  cache.insert(CacheKey{2, 1, 0}, info(0x30));
+  cache.insert(CacheKey{1, 1, 1}, info(0x40));
+  EXPECT_EQ(cache.lookup(CacheKey{1, 1, 0})->base, 0x10u);
+  EXPECT_EQ(cache.lookup(CacheKey{1, 2, 0})->base, 0x20u);
+  EXPECT_EQ(cache.lookup(CacheKey{2, 1, 0})->base, 0x30u);
+  EXPECT_EQ(cache.lookup(CacheKey{1, 1, 1})->base, 0x40u);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(AddressCache, GrowsOnDemandUpToLimitThenEvictsLru) {
+  // Sec. 4.5: dynamic hash table growing on demand to a fixed limit.
+  AddressCache cache(3);
+  for (std::uint64_t h = 0; h < 3; ++h) {
+    cache.insert(CacheKey{h, 0, 0}, info(h));
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  // Touch key 0 so key 1 is the LRU victim.
+  cache.lookup(CacheKey{0, 0, 0});
+  cache.insert(CacheKey{9, 0, 0}, info(9));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_TRUE(cache.lookup(CacheKey{0, 0, 0}).has_value());
+  EXPECT_FALSE(cache.lookup(CacheKey{1, 0, 0}).has_value());  // evicted
+  EXPECT_TRUE(cache.lookup(CacheKey{9, 0, 0}).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(AddressCache, ReinsertRefreshesValueWithoutGrowth) {
+  AddressCache cache(2);
+  cache.insert(CacheKey{1, 0, 0}, info(0x10));
+  cache.insert(CacheKey{1, 0, 0}, info(0x99));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(CacheKey{1, 0, 0})->base, 0x99u);
+}
+
+TEST(AddressCache, InvalidateHandleDropsAllNodes) {
+  // Eager invalidation when a shared object is deallocated (Sec. 3.1).
+  AddressCache cache(100);
+  for (NodeId nd = 0; nd < 5; ++nd) {
+    cache.insert(CacheKey{7, nd, 0}, info(nd));
+    cache.insert(CacheKey{8, nd, 0}, info(nd));
+  }
+  cache.invalidate_handle(7);
+  for (NodeId nd = 0; nd < 5; ++nd) {
+    EXPECT_FALSE(cache.lookup(CacheKey{7, nd, 0}).has_value());
+    EXPECT_TRUE(cache.lookup(CacheKey{8, nd, 0}).has_value());
+  }
+  EXPECT_EQ(cache.stats().invalidations, 5u);
+}
+
+TEST(AddressCache, InvalidateSingleEntry) {
+  AddressCache cache(100);
+  cache.insert(CacheKey{1, 0, 0}, info(1));
+  cache.insert(CacheKey{1, 1, 0}, info(2));
+  cache.invalidate(CacheKey{1, 0, 0});
+  EXPECT_FALSE(cache.lookup(CacheKey{1, 0, 0}).has_value());
+  EXPECT_TRUE(cache.lookup(CacheKey{1, 1, 0}).has_value());
+  EXPECT_NO_THROW(cache.invalidate(CacheKey{1, 0, 0}));  // idempotent
+}
+
+TEST(AddressCache, UnlimitedWhenMaxEntriesIsZero) {
+  AddressCache cache(0);
+  for (std::uint64_t h = 0; h < 1000; ++h) {
+    cache.insert(CacheKey{h, 0, 0}, info(h));
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(AddressCache, ResetStatsKeepsEntries) {
+  AddressCache cache(10);
+  cache.insert(CacheKey{1, 0, 0}, info(1));
+  cache.lookup(CacheKey{1, 0, 0});
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// The paper's key working-set property (Fig. 8a): with uniform random
+// accesses over k distinct keys and an LRU cache of S entries, the
+// steady-state hit rate is ~ S/k when S < k and ~1 when S >= k.
+struct HitRateCase {
+  std::size_t cache_size;
+  std::uint64_t working_set;
+};
+
+class LruHitRateProperty : public ::testing::TestWithParam<HitRateCase> {};
+
+TEST_P(LruHitRateProperty, UniformRandomHitRateTracksSizeRatio) {
+  const auto& c = GetParam();
+  AddressCache cache(c.cache_size);
+  sim::Rng rng(c.cache_size * 977 + c.working_set);
+  // Warm.
+  for (std::uint64_t k = 0; k < c.working_set; ++k) {
+    cache.insert(CacheKey{k, 0, 0}, info(k));
+  }
+  cache.reset_stats();
+  for (int i = 0; i < 20000; ++i) {
+    const CacheKey key{rng.below(c.working_set), 0, 0};
+    if (!cache.lookup(key)) cache.insert(key, info(key.handle));
+  }
+  const double expected =
+      c.cache_size >= c.working_set
+          ? 1.0
+          : static_cast<double>(c.cache_size) /
+                static_cast<double>(c.working_set);
+  EXPECT_NEAR(cache.stats().hit_rate(), expected, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LruHitRateProperty,
+    ::testing::Values(HitRateCase{4, 32}, HitRateCase{10, 32},
+                      HitRateCase{100, 32}, HitRateCase{4, 512},
+                      HitRateCase{10, 512}, HitRateCase{100, 512},
+                      HitRateCase{100, 64}, HitRateCase{100, 100}));
+
+}  // namespace
+}  // namespace xlupc::core

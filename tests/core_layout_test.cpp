@@ -1,0 +1,246 @@
+// Tests for block-cyclic / multi-blocked layouts and UPC
+// pointer-to-shared arithmetic.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/layout.h"
+#include "core/pointer_to_shared.h"
+
+namespace xlupc::core {
+namespace {
+
+LayoutSpec spec1d(std::uint64_t n, std::uint64_t elem, std::uint64_t block) {
+  LayoutSpec s;
+  s.dims = 1;
+  s.elem_size = elem;
+  s.extent[0] = n;
+  s.block[0] = block;
+  return s;
+}
+
+TEST(Layout1D, DefaultBlockingIsEvenCeilDiv) {
+  const Layout l(spec1d(100, 4, 0), 8, 4);
+  EXPECT_EQ(l.block_factor(), 13u);  // ceil(100/8)
+}
+
+TEST(Layout1D, BlockCyclicOwnership) {
+  // 12 elements, block 2, 3 threads: blocks go 0,1,2,0,1,2.
+  const Layout l(spec1d(12, 8, 2), 3, 1);
+  const ThreadId expect[] = {0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2};
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(l.locate(i).thread, expect[i]) << "element " << i;
+  }
+  // Second block round of thread 0 lands after its first block.
+  EXPECT_EQ(l.locate(6).offset, 2 * 8u);
+  EXPECT_EQ(l.locate(7).offset, 3 * 8u);
+}
+
+TEST(Layout1D, OutOfRangeThrows) {
+  const Layout l(spec1d(10, 4, 2), 2, 1);
+  EXPECT_THROW(l.locate(10), std::out_of_range);
+  EXPECT_THROW(l.thread_piece_bytes(2), std::out_of_range);
+}
+
+TEST(Layout1D, RunLengthStopsAtBlockAndArrayEnd) {
+  const Layout l(spec1d(10, 4, 4), 2, 1);
+  EXPECT_EQ(l.run_length(0), 4u);
+  EXPECT_EQ(l.run_length(3), 1u);
+  EXPECT_EQ(l.run_length(8), 2u);  // final partial block
+}
+
+TEST(Layout1D, NodeOffsetsPackThreadPiecesContiguously) {
+  const Layout l(spec1d(64, 8, 4), 4, 2);  // 2 nodes x 2 threads
+  EXPECT_EQ(l.thread_offset_in_node(0), 0u);
+  EXPECT_EQ(l.thread_offset_in_node(1), l.thread_piece_bytes(0));
+  EXPECT_EQ(l.thread_offset_in_node(2), 0u);  // first thread of node 1
+  EXPECT_EQ(l.node_piece_bytes(0),
+            l.thread_piece_bytes(0) + l.thread_piece_bytes(1));
+}
+
+struct LayoutCase {
+  std::uint64_t n, elem, block;
+  std::uint32_t threads, tpn;
+};
+
+class Layout1DProperty : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(Layout1DProperty, EveryElementHasExactlyOneDistinctSlot) {
+  const auto& c = GetParam();
+  const Layout l(spec1d(c.n, c.elem, c.block), c.threads, c.tpn);
+  // (thread, offset) pairs must be unique and within the piece.
+  std::set<std::pair<ThreadId, std::uint64_t>> seen;
+  std::map<ThreadId, std::uint64_t> count;
+  for (std::uint64_t i = 0; i < c.n; ++i) {
+    const auto loc = l.locate(i);
+    ASSERT_LT(loc.thread, c.threads);
+    ASSERT_LT(loc.offset, l.thread_piece_bytes(loc.thread));
+    ASSERT_EQ(loc.offset % c.elem, 0u);
+    ASSERT_TRUE(seen.emplace(loc.thread, loc.offset).second);
+    ++count[loc.thread];
+  }
+  // Piece sizes account for every element exactly once.
+  std::uint64_t total = 0;
+  for (ThreadId t = 0; t < c.threads; ++t) {
+    total += l.thread_piece_bytes(t);
+    EXPECT_EQ(l.thread_piece_bytes(t), count[t] * c.elem);
+  }
+  EXPECT_EQ(total, c.n * c.elem);
+  // Node pieces partition the thread pieces.
+  std::uint64_t node_total = 0;
+  for (NodeId nd = 0; nd < l.nodes(); ++nd) {
+    node_total += l.node_piece_bytes(nd);
+  }
+  EXPECT_EQ(node_total, total);
+}
+
+TEST_P(Layout1DProperty, RunsAreContiguousOnOwner) {
+  const auto& c = GetParam();
+  const Layout l(spec1d(c.n, c.elem, c.block), c.threads, c.tpn);
+  for (std::uint64_t i = 0; i < c.n; i += 3) {
+    const std::uint64_t run = l.run_length(i);
+    const auto first = l.locate(i);
+    for (std::uint64_t k = 1; k < run; ++k) {
+      const auto loc = l.locate(i + k);
+      ASSERT_EQ(loc.thread, first.thread);
+      ASSERT_EQ(loc.offset, first.offset + k * c.elem);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Layout1DProperty,
+    ::testing::Values(LayoutCase{16, 8, 4, 2, 1}, LayoutCase{17, 8, 4, 2, 1},
+                      LayoutCase{100, 4, 7, 3, 1}, LayoutCase{64, 1, 1, 8, 4},
+                      LayoutCase{1000, 8, 0, 16, 4},
+                      LayoutCase{31, 16, 5, 4, 2}, LayoutCase{1, 4, 3, 4, 2},
+                      LayoutCase{128, 2, 128, 4, 4}));
+
+TEST(Layout2D, TilesAreDealtRoundRobin) {
+  LayoutSpec s;
+  s.dims = 2;
+  s.elem_size = 4;
+  s.extent[0] = 8;
+  s.extent[1] = 8;
+  s.block[0] = 4;
+  s.block[1] = 4;  // 2x2 = 4 tiles
+  const Layout l(s, 4, 2);
+  EXPECT_EQ(l.locate2d(0, 0).thread, 0u);
+  EXPECT_EQ(l.locate2d(0, 4).thread, 1u);
+  EXPECT_EQ(l.locate2d(4, 0).thread, 2u);
+  EXPECT_EQ(l.locate2d(4, 4).thread, 3u);
+  // Within-tile, row-major offsets.
+  EXPECT_EQ(l.locate2d(1, 2).offset, (1 * 4 + 2) * 4u);
+}
+
+TEST(Layout2D, RequiresDivisibleExtents) {
+  LayoutSpec s;
+  s.dims = 2;
+  s.elem_size = 4;
+  s.extent[0] = 10;
+  s.extent[1] = 8;
+  s.block[0] = 4;
+  s.block[1] = 4;
+  EXPECT_THROW(Layout(s, 4, 2), std::invalid_argument);
+}
+
+TEST(Layout2D, EveryPixelMapsUniquely) {
+  LayoutSpec s;
+  s.dims = 2;
+  s.elem_size = 2;
+  s.extent[0] = 12;
+  s.extent[1] = 8;
+  s.block[0] = 3;
+  s.block[1] = 4;  // 4x2 = 8 tiles over 3 threads
+  const Layout l(s, 3, 1);
+  std::set<std::pair<ThreadId, std::uint64_t>> seen;
+  for (std::uint64_t r = 0; r < 12; ++r) {
+    for (std::uint64_t c = 0; c < 8; ++c) {
+      const auto loc = l.locate2d(r, c);
+      ASSERT_LT(loc.thread, 3u);
+      ASSERT_LT(loc.offset, l.thread_piece_bytes(loc.thread));
+      ASSERT_TRUE(seen.emplace(loc.thread, loc.offset).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 96u);
+}
+
+TEST(Layout2D, MixedAccessorsThrow) {
+  const Layout l1(spec1d(8, 4, 2), 2, 1);
+  EXPECT_THROW(l1.locate2d(0, 0), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// PointerToShared
+// ---------------------------------------------------------------------
+
+ArrayDesc make_desc(std::uint64_t n, std::uint64_t block,
+                    std::uint32_t threads) {
+  ArrayDesc d;
+  d.handle = svd::Handle{svd::kAllPartition, 0};
+  d.layout = std::make_shared<const Layout>(spec1d(n, 8, block), threads, 1);
+  return d;
+}
+
+TEST(PointerToShared, ComponentsMatchUpcSemantics) {
+  const ArrayDesc d = make_desc(24, 3, 4);
+  const PointerToShared p(d, 10);  // block 3, element 10 => block 3, phase 1
+  EXPECT_EQ(p.thread(), 3u);       // block_id 3 % 4 threads
+  EXPECT_EQ(p.phase(), 1u);
+  EXPECT_EQ(p.index(), 10u);
+}
+
+TEST(PointerToShared, AdvanceMatchesIndexArithmetic) {
+  const ArrayDesc d = make_desc(64, 4, 4);
+  PointerToShared p(d, 0);
+  for (std::uint64_t i = 0; i < 63; ++i) {
+    ++p;
+    EXPECT_EQ(p.index(), i + 1);
+    EXPECT_EQ(p.thread(), d.layout->locate(i + 1).thread);
+  }
+}
+
+TEST(PointerToShared, AddrfieldMatchesLayoutOffset) {
+  const ArrayDesc d = make_desc(64, 4, 4);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const PointerToShared p(d, i);
+    EXPECT_EQ(p.addrfield(), d.layout->locate(i).offset);
+  }
+}
+
+TEST(PointerToShared, DifferenceAndNegativeSteps) {
+  const ArrayDesc d = make_desc(64, 4, 4);
+  const PointerToShared a(d, 40);
+  const PointerToShared b(d, 12);
+  EXPECT_EQ(a - b, 28);
+  EXPECT_EQ(b - a, -28);
+  EXPECT_EQ((a + -28).index(), 12u);
+  PointerToShared c = b;
+  EXPECT_THROW(c += -13, std::out_of_range);
+}
+
+TEST(PointerToShared, CrossArrayDifferenceThrows) {
+  const ArrayDesc d1 = make_desc(16, 2, 2);
+  ArrayDesc d2 = make_desc(16, 2, 2);
+  d2.handle = svd::Handle{svd::kAllPartition, 1};
+  EXPECT_THROW((void)(PointerToShared(d1, 0) - PointerToShared(d2, 0)),
+               std::invalid_argument);
+}
+
+class PtrRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PtrRoundTrip, IndexReconstructsExactly) {
+  const ArrayDesc d = make_desc(997, 13, 7);
+  const std::uint64_t i = GetParam();
+  const PointerToShared p(d, i);
+  EXPECT_EQ(p.index(), i);
+  EXPECT_EQ(p.phase(), i % 13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PtrRoundTrip,
+                         ::testing::Values(0, 1, 12, 13, 14, 90, 91, 500, 996));
+
+}  // namespace
+}  // namespace xlupc::core

@@ -1,0 +1,346 @@
+// Tests for the runtime extensions: collectives, upc_forall, strict
+// accesses, execution tracing and the full-table resolution ablation.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <sstream>
+
+#include "core/collectives.h"
+#include "core/forall.h"
+#include "core/runtime.h"
+#include "core/trace.h"
+
+namespace xlupc::core {
+namespace {
+
+using sim::Task;
+
+RuntimeConfig config(std::uint32_t nodes, std::uint32_t tpn,
+                     net::TransportKind kind = net::TransportKind::kGm) {
+  RuntimeConfig cfg;
+  cfg.platform = net::preset(kind);
+  cfg.nodes = nodes;
+  cfg.threads_per_node = tpn;
+  return cfg;
+}
+
+// --------------------------------------------------------- collectives ---
+
+TEST(Collectives, BroadcastFromEveryRoot) {
+  Runtime rt(config(2, 2));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto coll = co_await Collective<std::uint64_t>::create(th);
+    for (ThreadId root = 0; root < rt.threads(); ++root) {
+      const std::uint64_t value = 1000 + root * 7;
+      const std::uint64_t mine = th.id() == root ? value : 0;
+      const auto got = co_await coll.broadcast(th, mine, root);
+      EXPECT_EQ(got, value) << "root " << root << " thread " << th.id();
+    }
+  });
+}
+
+TEST(Collectives, AllReduceSumMinMax) {
+  Runtime rt(config(4, 2));
+  const std::uint32_t t = rt.threads();
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto coll = co_await Collective<std::int64_t>::create(th);
+    const std::int64_t v = static_cast<std::int64_t>(th.id()) + 1;
+    const auto sum = co_await coll.all_reduce(th, v, std::plus<>{});
+    EXPECT_EQ(sum, static_cast<std::int64_t>(t) * (t + 1) / 2);
+    const auto mn = co_await coll.all_reduce(
+        th, v, [](std::int64_t a, std::int64_t b) { return std::min(a, b); });
+    EXPECT_EQ(mn, 1);
+    const auto mx = co_await coll.all_reduce(
+        th, v, [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+    EXPECT_EQ(mx, static_cast<std::int64_t>(t));
+  });
+}
+
+TEST(Collectives, AllGatherOrdersByThread) {
+  Runtime rt(config(2, 4));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto coll = co_await Collective<std::uint32_t>::create(th);
+    const auto all = co_await coll.all_gather(th, th.id() * 11u);
+    EXPECT_EQ(all.size(), rt.threads());
+    for (std::uint32_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all[i], i * 11u);
+    }
+  });
+}
+
+TEST(Collectives, ExclusiveScan) {
+  Runtime rt(config(2, 3));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto coll = co_await Collective<std::uint64_t>::create(th);
+    const auto pre =
+        co_await coll.exscan(th, th.id() + 1, std::plus<>{}, std::uint64_t{0});
+    // Thread t gets sum of 1..t.
+    EXPECT_EQ(pre, static_cast<std::uint64_t>(th.id()) * (th.id() + 1) / 2);
+  });
+}
+
+TEST(Collectives, NonRootBroadcastWithSingleThread) {
+  Runtime rt(config(1, 1));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto coll = co_await Collective<int>::create(th);
+    EXPECT_EQ(co_await coll.broadcast(th, 5, 0), 5);
+  });
+}
+
+TEST(Collectives, DestroyFreesScratch) {
+  Runtime rt(config(2, 1));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto coll = co_await Collective<int>::create(th);
+    (void)co_await coll.broadcast(th, 1, 0);
+    co_await coll.destroy(th);
+  });
+  EXPECT_EQ(rt.memory(0).live_allocations(), 0u);
+  EXPECT_EQ(rt.memory(1).live_allocations(), 0u);
+}
+
+class CollectiveScaleProperty
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(CollectiveScaleProperty, ReduceMatchesClosedForm) {
+  const auto [nodes, tpn] = GetParam();
+  Runtime rt(config(nodes, tpn));
+  const std::uint64_t t = rt.threads();
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto coll = co_await Collective<std::uint64_t>::create(th);
+    const auto sum = co_await coll.all_reduce(
+        th, static_cast<std::uint64_t>(th.id()), std::plus<>{});
+    EXPECT_EQ(sum, t * (t - 1) / 2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CollectiveScaleProperty,
+                         ::testing::Values(std::pair{1u, 1u},
+                                           std::pair{1u, 3u},
+                                           std::pair{2u, 1u},
+                                           std::pair{3u, 2u},
+                                           std::pair{5u, 3u},
+                                           std::pair{8u, 4u}));
+
+// -------------------------------------------------------------- forall ---
+
+TEST(Forall, VisitsEveryElementExactlyOnceWithAffinity) {
+  Runtime rt(config(2, 2));
+  std::vector<int> visits(100, 0);
+  std::vector<ThreadId> visitor(100, 999);
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(100, 4, 7);  // odd block size
+    co_await forall(th, a, [&](std::uint64_t i) -> Task<void> {
+      ++visits[i];
+      visitor[i] = th.id();
+      co_return;
+    });
+    co_await th.barrier();
+  });
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(visits[i], 1) << i;
+  }
+  // Affinity: the visitor must be the element's owner.
+  Runtime check(config(2, 2));
+  check.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(100, 4, 7);
+    if (th.id() == 0) {
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(visitor[i], th.threadof(a, i)) << i;
+      }
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(Forall, CyclicCoversRange) {
+  Runtime rt(config(2, 2));
+  std::vector<int> visits(57, 0);
+  rt.run([&](UpcThread& th) -> Task<void> {
+    co_await forall_cyclic(th, 5, 57, [&](std::uint64_t i) -> Task<void> {
+      ++visits[i];
+      co_return;
+    });
+    co_await th.barrier();
+  });
+  for (std::uint64_t i = 0; i < 57; ++i) {
+    EXPECT_EQ(visits[i], i >= 5 ? 1 : 0) << i;
+  }
+}
+
+// -------------------------------------------------------------- strict ---
+
+TEST(Strict, WriteStrictIsRemotelyCompleteOnReturn) {
+  Runtime rt(config(2, 1));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      co_await th.write_strict<std::uint64_t>(a, 8, 77);
+      // Remote completion already happened: direct memory inspection.
+      std::uint64_t v = 0;
+      rt.debug_read(a, 8, std::as_writable_bytes(std::span(&v, 1)));
+      EXPECT_EQ(v, 77u);
+      EXPECT_EQ(co_await th.read_strict<std::uint64_t>(a, 8), 77u);
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(Strict, StrictWriteIsSlowerThanRelaxed) {
+  auto timed = [](bool strict) {
+    Runtime rt(config(2, 1));
+    sim::Duration d = 0;
+    rt.run([&](UpcThread& th) -> Task<void> {
+      auto a = co_await th.all_alloc(16, 8, 8);
+      co_await th.barrier();
+      if (th.id() == 0) {
+        const auto t0 = th.now();
+        for (int i = 0; i < 8; ++i) {
+          if (strict) {
+            co_await th.write_strict<std::uint64_t>(a, 8, i);
+          } else {
+            co_await th.write<std::uint64_t>(a, 8, i);
+          }
+        }
+        d = th.now() - t0;
+      }
+      co_await th.barrier();
+    });
+    return d;
+  };
+  EXPECT_GT(timed(true), timed(false));
+}
+
+// --------------------------------------------------------------- trace ---
+
+TEST(Trace, RecordsEveryDataOpWithPath) {
+  auto cfg = config(2, 1);
+  cfg.trace = true;
+  Runtime rt(std::move(cfg));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      (void)co_await th.read<std::uint64_t>(a, 0);   // local
+      (void)co_await th.read<std::uint64_t>(a, 8);   // remote AM (miss)
+      (void)co_await th.read<std::uint64_t>(a, 9);   // remote RDMA (hit)
+      co_await th.write<std::uint64_t>(a, 8, 1);     // remote put (RDMA:
+                                                     // cache already warm)
+    }
+    co_await th.barrier();
+  });
+  const auto& events = rt.tracer().events();
+  ASSERT_FALSE(events.empty());
+  const auto summary = rt.tracer().summarize();
+  ASSERT_NE(summary.find(TraceOp::kGet, TracePath::kLocal), nullptr);
+  ASSERT_NE(summary.find(TraceOp::kGet, TracePath::kAm), nullptr);
+  ASSERT_NE(summary.find(TraceOp::kGet, TracePath::kRdma), nullptr);
+  ASSERT_NE(summary.find(TraceOp::kPut, TracePath::kRdma), nullptr);
+  ASSERT_NE(summary.find(TraceOp::kBarrier, TracePath::kNone), nullptr);
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.end, ev.start);
+  }
+  // The paper's Sec. 4.6 observation in miniature: AM gets cost more
+  // than RDMA gets.
+  EXPECT_GT(summary.find(TraceOp::kGet, TracePath::kAm)->mean_us,
+            summary.find(TraceOp::kGet, TracePath::kRdma)->mean_us);
+}
+
+TEST(Trace, DisabledByDefaultAndCheap) {
+  Runtime rt(config(2, 1));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    (void)co_await th.read<std::uint64_t>(a, (th.id() + 8) % 16);
+    co_await th.barrier();
+  });
+  EXPECT_TRUE(rt.tracer().events().empty());
+}
+
+TEST(Trace, CsvHasHeaderAndOneLinePerEvent) {
+  auto cfg = config(2, 1);
+  cfg.trace = true;
+  Runtime rt(std::move(cfg));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) (void)co_await th.read<std::uint64_t>(a, 8);
+    co_await th.barrier();
+  });
+  std::ostringstream os;
+  rt.tracer().dump_csv(os);
+  const std::string csv = os.str();
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, rt.tracer().events().size() + 1);  // + header
+  EXPECT_NE(csv.find("thread,op,path,target,bytes"), std::string::npos);
+}
+
+// ---------------------------------------------------------- full table ---
+
+TEST(FullTable, FirstAccessAlreadyHitsAfterAllocation) {
+  auto cfg = config(3, 1);
+  cfg.cache.full_table = true;
+  Runtime rt(std::move(cfg));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(30, 8, 10);
+    co_await th.barrier();  // publication settles
+    if (th.id() == 0) {
+      (void)co_await th.read<std::uint64_t>(a, 10);
+      (void)co_await th.read<std::uint64_t>(a, 20);
+    }
+    co_await th.barrier();
+  });
+  EXPECT_EQ(rt.counters().am_gets, 0u);
+  EXPECT_EQ(rt.counters().rdma_gets, 2u);
+  // Every node stores an entry per other node: O(nodes x objects).
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(rt.cache(n).size(), 2u) << "node " << n;
+  }
+}
+
+TEST(FullTable, AllocationBroadcastsQuadratically) {
+  auto run_msgs = [](std::uint32_t nodes) {
+    auto cfg = config(nodes, 1);
+    cfg.cache.full_table = true;
+    Runtime rt(std::move(cfg));
+    rt.run([&](UpcThread& th) -> Task<void> {
+      auto a = co_await th.all_alloc(8 * rt.threads(), 8);
+      co_await th.barrier();
+      (void)a;
+    });
+    return rt.transport().stats().control_msgs;
+  };
+  const auto small = run_msgs(2);
+  const auto large = run_msgs(8);
+  EXPECT_EQ(small, 2u * 1u);
+  EXPECT_EQ(large, 8u * 7u);  // O(nodes^2) publication traffic
+}
+
+TEST(FullTable, RequiresGreedyPinning) {
+  auto cfg = config(2, 1);
+  cfg.cache.full_table = true;
+  cfg.pin_strategy = mem::PinStrategy::kChunked;
+  EXPECT_THROW(Runtime rt(std::move(cfg)), std::invalid_argument);
+}
+
+TEST(FullTable, FreeStillInvalidatesEverywhere) {
+  auto cfg = config(3, 1);
+  cfg.cache.full_table = true;
+  Runtime rt(std::move(cfg));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(30, 8, 10);
+    co_await th.barrier();
+    if (th.id() == 0) co_await th.free_array(a);
+    co_await th.barrier();
+  });
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(rt.cache(n).size(), 0u);
+    EXPECT_EQ(rt.memory(n).live_allocations(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace xlupc::core

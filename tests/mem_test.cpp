@@ -1,0 +1,290 @@
+// Tests for the memory substrate: per-node address spaces, the pinned
+// address table (greedy and chunked strategies) and the registration
+// cache with lazy deregistration.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "mem/pinned_table.h"
+#include "mem/registration_cache.h"
+
+namespace xlupc::mem {
+namespace {
+
+TEST(AddressSpace, NodesHaveDisjointAddressRanges) {
+  AddressSpace a(0), b(1), c(7);
+  const Addr pa = a.allocate(64);
+  const Addr pb = b.allocate(64);
+  const Addr pc = c.allocate(64);
+  EXPECT_NE(pa >> 40, pb >> 40);
+  EXPECT_NE(pb >> 40, pc >> 40);
+  EXPECT_EQ(pa, node_base(0));
+  EXPECT_EQ(pb, node_base(1));
+  EXPECT_EQ(pc, node_base(7));
+}
+
+TEST(AddressSpace, SameObjectHasDifferentAddressOnEveryNode) {
+  // The property of Fig. 2 that motivates the SVD.
+  AddressSpace n0(0), n1(1);
+  EXPECT_NE(n0.allocate(128), n1.allocate(128));
+}
+
+TEST(AddressSpace, ReadBackWhatWasWritten) {
+  AddressSpace space(3);
+  const Addr p = space.allocate(256);
+  std::vector<std::byte> in(256);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::byte>(i * 7);
+  }
+  space.write(p, in);
+  std::vector<std::byte> out(256);
+  space.read(p, out);
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), 256), 0);
+}
+
+TEST(AddressSpace, SubRangeAccessWithOffset) {
+  AddressSpace space(0);
+  const Addr p = space.allocate(64);
+  const std::uint32_t v = 0xdeadbeef;
+  space.store(p + 12, v);
+  EXPECT_EQ(space.load<std::uint32_t>(p + 12), v);
+}
+
+TEST(AddressSpace, AllocationsAreZeroInitialized) {
+  AddressSpace space(0);
+  const Addr p = space.allocate(32);
+  for (int i = 0; i < 32; i += 8) {
+    EXPECT_EQ(space.load<std::uint64_t>(p + i), 0u);
+  }
+}
+
+TEST(AddressSpace, OutOfBoundsAccessThrows) {
+  AddressSpace space(0);
+  const Addr p = space.allocate(16);
+  std::vector<std::byte> buf(8);
+  EXPECT_THROW(space.read(p + 12, buf), std::out_of_range);      // crosses end
+  EXPECT_THROW(space.read(p - 1, buf), std::out_of_range);       // below
+  EXPECT_THROW(space.write(p + 16, buf), std::out_of_range);     // past end
+  EXPECT_NO_THROW(space.read(p + 8, buf));
+}
+
+TEST(AddressSpace, AccessAcrossAllocationsThrows) {
+  AddressSpace space(0);
+  const Addr p1 = space.allocate(16);
+  space.allocate(16);
+  std::vector<std::byte> buf(32);
+  EXPECT_THROW(space.read(p1, buf), std::out_of_range);
+}
+
+TEST(AddressSpace, FreeRemovesAllocation) {
+  AddressSpace space(0);
+  const Addr p = space.allocate(16);
+  EXPECT_TRUE(space.contains(p, 16));
+  space.free(p);
+  EXPECT_FALSE(space.contains(p, 1));
+  EXPECT_THROW(space.free(p), std::invalid_argument);
+  EXPECT_EQ(space.live_allocations(), 0u);
+}
+
+TEST(AddressSpace, FreeMiddleAllocationKeepsNeighbours) {
+  AddressSpace space(0);
+  const Addr a = space.allocate(16);
+  const Addr b = space.allocate(16);
+  const Addr c = space.allocate(16);
+  space.free(b);
+  EXPECT_TRUE(space.contains(a, 16));
+  EXPECT_FALSE(space.contains(b, 1));
+  EXPECT_TRUE(space.contains(c, 16));
+}
+
+TEST(AddressSpace, ZeroSizeAllocationsGetDistinctAddresses) {
+  AddressSpace space(0);
+  const Addr a = space.allocate(0);
+  const Addr b = space.allocate(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(AddressSpace, OwningBlockFindsBase) {
+  AddressSpace space(0);
+  const Addr p = space.allocate(100);
+  EXPECT_EQ(space.owning_block(p + 50), p);
+  EXPECT_EQ(space.owning_block(p + 100), kNullAddr);
+  EXPECT_EQ(space.allocation_size(p), 100u);
+}
+
+// ---------------------------------------------------------------------
+// PinnedAddressTable
+// ---------------------------------------------------------------------
+
+TEST(PinnedTableGreedy, PinWholeObjectOnce) {
+  PinnedAddressTable t(PinStrategy::kGreedy, {});
+  const Addr base = node_base(0);
+  auto r1 = t.pin(base, 1 << 20);
+  EXPECT_TRUE(r1.ok);
+  EXPECT_FALSE(r1.already_pinned);
+  EXPECT_EQ(r1.new_handles, 1u);
+  EXPECT_EQ(r1.new_bytes, std::size_t{1} << 20);
+
+  auto r2 = t.pin(base, 1 << 20);
+  EXPECT_TRUE(r2.ok);
+  EXPECT_TRUE(r2.already_pinned);
+  EXPECT_EQ(r2.new_handles, 0u);
+  EXPECT_EQ(t.handle_count(), 1u);
+}
+
+TEST(PinnedTableGreedy, SubRangeOfPinnedObjectIsPinned) {
+  PinnedAddressTable t(PinStrategy::kGreedy, {});
+  const Addr base = node_base(0);
+  t.pin(base, 4096);
+  EXPECT_TRUE(t.is_pinned(base + 100, 200));
+  EXPECT_FALSE(t.is_pinned(base + 4000, 200));  // crosses the end
+  EXPECT_TRUE(t.key_for(base + 100).has_value());
+  EXPECT_FALSE(t.key_for(base + 5000).has_value());
+}
+
+TEST(PinnedTableGreedy, IgnoresLimitsAsInPaper) {
+  // Sec. 3.1: the greedy strategy presented in the paper ignores
+  // per-handle and total limits.
+  PinLimits limits;
+  limits.max_bytes_per_handle = 1024;
+  limits.max_total_bytes = 2048;
+  PinnedAddressTable t(PinStrategy::kGreedy, limits);
+  auto r = t.pin(node_base(0), 1 << 20);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(t.pinned_bytes(), std::size_t{1} << 20);
+}
+
+TEST(PinnedTableGreedy, UnpinRemovesOverlappingRegions) {
+  PinnedAddressTable t(PinStrategy::kGreedy, {});
+  const Addr base = node_base(0);
+  t.pin(base, 4096);
+  EXPECT_EQ(t.unpin(base + 10, 10), 1u);
+  EXPECT_FALSE(t.is_pinned(base, 1));
+  EXPECT_EQ(t.pinned_bytes(), 0u);
+  EXPECT_EQ(t.total_deregistrations(), 1u);
+}
+
+TEST(PinnedTableChunked, RespectsPerHandleLimit) {
+  PinLimits limits;
+  limits.max_bytes_per_handle = 64 * 1024;
+  PinnedAddressTable t(PinStrategy::kChunked, limits);
+  const Addr base = node_base(0);
+  auto r = t.pin(base, 1 << 20);  // 1 MB over 64 KB handles -> 16 handles
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.new_handles, 16u);
+  EXPECT_TRUE(t.is_pinned(base, 1 << 20));
+}
+
+TEST(PinnedTableChunked, ReuseDoesNotReRegister) {
+  PinnedAddressTable t(PinStrategy::kChunked, {});
+  const Addr base = node_base(0);
+  t.pin(base, 4096);
+  auto r = t.pin(base + 100, 64);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.already_pinned);
+  EXPECT_EQ(r.new_handles, 0u);
+}
+
+TEST(PinnedTableChunked, EnforcesTotalBudgetWithLruRecycling) {
+  PinLimits limits;
+  limits.max_total_bytes = 3 * kPinChunkBytes;
+  PinnedAddressTable t(PinStrategy::kChunked, limits);
+  const Addr base = node_base(0);
+  EXPECT_TRUE(t.pin(base + 0 * kPinChunkBytes, 1).ok);
+  EXPECT_TRUE(t.pin(base + 1 * kPinChunkBytes, 1).ok);
+  EXPECT_TRUE(t.pin(base + 2 * kPinChunkBytes, 1).ok);
+  EXPECT_EQ(t.pinned_bytes(), 3 * kPinChunkBytes);
+  // Touch chunk 0 so chunk 1 becomes the LRU victim.
+  t.pin(base, 1);
+  auto r = t.pin(base + 3 * kPinChunkBytes, 1);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.evicted_handles, 1u);
+  EXPECT_TRUE(t.is_pinned(base, 1));                       // kept (recent)
+  EXPECT_FALSE(t.is_pinned(base + kPinChunkBytes, 1));     // evicted
+  EXPECT_TRUE(t.is_pinned(base + 3 * kPinChunkBytes, 1));  // new
+}
+
+TEST(PinnedTableChunked, ImpossibleRequestFails) {
+  PinLimits limits;
+  limits.max_total_bytes = kPinChunkBytes / 2;
+  PinnedAddressTable t(PinStrategy::kChunked, limits);
+  auto r = t.pin(node_base(0), 1);
+  EXPECT_FALSE(r.ok);
+}
+
+class PinStrategyProperty : public ::testing::TestWithParam<PinStrategy> {};
+
+TEST_P(PinStrategyProperty, PinThenQueryIsConsistent) {
+  PinnedAddressTable t(GetParam(), {});
+  const Addr base = node_base(2);
+  for (std::size_t len : {1ul, 100ul, 4096ul, 1ul << 20, 3ul << 20}) {
+    auto r = t.pin(base, len);
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(t.is_pinned(base, len));
+    EXPECT_TRUE(t.key_for(base).has_value());
+  }
+  EXPECT_GE(t.total_pin_calls(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStrategies, PinStrategyProperty,
+                         ::testing::Values(PinStrategy::kGreedy,
+                                           PinStrategy::kChunked));
+
+// ---------------------------------------------------------------------
+// RegistrationCache
+// ---------------------------------------------------------------------
+
+TEST(RegistrationCache, MissThenHit) {
+  RegistrationCache rc(0);
+  auto miss = rc.ensure(node_base(0), 4096);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.registered, 4096u);
+  auto hit = rc.ensure(node_base(0), 4096);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.registered, 0u);
+  EXPECT_EQ(rc.hits(), 1u);
+  EXPECT_EQ(rc.misses(), 1u);
+}
+
+TEST(RegistrationCache, SubRangeIsAHit) {
+  RegistrationCache rc(0);
+  rc.ensure(node_base(0), 4096);
+  EXPECT_TRUE(rc.ensure(node_base(0) + 100, 200).hit);
+}
+
+TEST(RegistrationCache, LazyDeregistrationEvictsLru) {
+  RegistrationCache rc(10 * 1024);
+  rc.ensure(node_base(0), 4 * 1024);
+  rc.ensure(node_base(0) + (1 << 20), 4 * 1024);
+  // Refresh the first region so the second is LRU.
+  rc.ensure(node_base(0), 4 * 1024);
+  auto r = rc.ensure(node_base(0) + (2 << 20), 4 * 1024);
+  EXPECT_EQ(r.deregistered, 4 * 1024u);
+  EXPECT_EQ(r.evicted_regions, 1u);
+  EXPECT_TRUE(rc.ensure(node_base(0), 4 * 1024).hit);          // survived
+  EXPECT_FALSE(rc.ensure(node_base(0) + (1 << 20), 1).hit);    // evicted
+  EXPECT_EQ(rc.evictions(), 1u);
+}
+
+TEST(RegistrationCache, InvalidateDropsOverlaps) {
+  RegistrationCache rc(0);
+  rc.ensure(node_base(0), 4096);
+  rc.invalidate(node_base(0) + 100, 1);
+  EXPECT_FALSE(rc.ensure(node_base(0), 1).hit);
+  EXPECT_EQ(rc.region_count(), 1u);  // re-registered by the ensure above
+}
+
+TEST(RegistrationCache, OverlappingReRegistrationStaysConsistent) {
+  RegistrationCache rc(0);
+  rc.ensure(node_base(0), 1024);
+  // A wider range overlapping the old one replaces it.
+  auto r = rc.ensure(node_base(0) + 512, 2048);
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(rc.region_count(), 1u);
+  EXPECT_EQ(rc.resident_bytes(), 2048u);
+}
+
+}  // namespace
+}  // namespace xlupc::mem

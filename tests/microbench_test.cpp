@@ -1,0 +1,154 @@
+// Tests pinning the microbenchmark harness to the paper's Sec. 4.3
+// results: improvement bands per message-size regime, the LAPI RDMA-PUT
+// anomaly, and absolute latency anchors from Fig. 7.
+#include <gtest/gtest.h>
+
+#include "benchsupport/microbench.h"
+#include "net/params.h"
+
+namespace xlupc::bench {
+namespace {
+
+MicroParams quick(std::size_t bytes) { return MicroParams{bytes, 3, 6}; }
+
+TEST(MicroGet, SmallMessageBandsMatchPaper) {
+  // "the gains in GET roundtrip latency are in 30% and 16% range
+  // respectively for GM and LAPI" (<= 1 KB).
+  for (std::size_t sz : {1ul, 16ul, 256ul}) {
+    const auto gm =
+        measure_improvement(net::mare_nostrum_gm(), Op::kGet, quick(sz));
+    EXPECT_GE(gm.improvement_pct, 25.0) << sz;
+    EXPECT_LE(gm.improvement_pct, 42.0) << sz;
+    const auto lapi =
+        measure_improvement(net::power5_lapi(), Op::kGet, quick(sz));
+    EXPECT_GE(lapi.improvement_pct, 12.0) << sz;
+    EXPECT_LE(lapi.improvement_pct, 25.0) << sz;
+  }
+}
+
+TEST(MicroGet, MediumMessagesPeakAroundFortyPercent) {
+  // "For medium message size range (1 KByte to 16 KByte) there are even
+  // larger gains (around 40%)".
+  const auto gm =
+      measure_improvement(net::mare_nostrum_gm(), Op::kGet, quick(8192));
+  EXPECT_GE(gm.improvement_pct, 35.0);
+  EXPECT_LE(gm.improvement_pct, 50.0);
+  const auto lapi =
+      measure_improvement(net::power5_lapi(), Op::kGet, quick(8192));
+  EXPECT_GE(lapi.improvement_pct, 33.0);
+  EXPECT_LE(lapi.improvement_pct, 48.0);
+}
+
+TEST(MicroGet, GainsFadeWhenBandwidthDominates) {
+  const auto gm = measure_improvement(net::mare_nostrum_gm(), Op::kGet,
+                                      quick(4 << 20));
+  EXPECT_LT(gm.improvement_pct, 3.0);
+  const auto lapi =
+      measure_improvement(net::power5_lapi(), Op::kGet, quick(4 << 20));
+  EXPECT_LT(lapi.improvement_pct, 3.0);
+}
+
+TEST(MicroGet, LapiGainsSurviveToTwoMegabytes) {
+  // "The gain is more visible on LAPI, fading out at 2 MByte".
+  const auto at_1mb =
+      measure_improvement(net::power5_lapi(), Op::kGet, quick(1 << 20));
+  EXPECT_GT(at_1mb.improvement_pct, 25.0);
+  const auto gm_at_1mb =
+      measure_improvement(net::mare_nostrum_gm(), Op::kGet, quick(1 << 20));
+  EXPECT_LT(gm_at_1mb.improvement_pct, 5.0);  // Myrinet fades earlier
+}
+
+TEST(MicroPut, GmSeesNoBenefitForSmallMessages) {
+  // "in GM we do not see any benefit of using the address cache for
+  // small message transfers, up to 2 KBytes".
+  for (std::size_t sz : {1ul, 64ul, 1024ul, 2048ul}) {
+    const auto gm =
+        measure_improvement(net::mare_nostrum_gm(), Op::kPut, quick(sz));
+    EXPECT_LT(gm.improvement_pct, 30.0) << sz;
+    EXPECT_GT(gm.improvement_pct, -10.0) << sz;
+  }
+  const auto tiny =
+      measure_improvement(net::mare_nostrum_gm(), Op::kPut, quick(8));
+  EXPECT_NEAR(tiny.improvement_pct, 0.0, 6.0);
+}
+
+TEST(MicroPut, LapiRdmaPutIsAroundMinusTwoHundredPercent) {
+  // "a net decrease in performance of up to 200% by using the address
+  // cache" — the result that led to disabling the PUT cache on LAPI.
+  const auto lapi =
+      measure_improvement(net::power5_lapi(), Op::kPut, quick(8));
+  EXPECT_LT(lapi.improvement_pct, -150.0);
+  EXPECT_GT(lapi.improvement_pct, -260.0);
+}
+
+TEST(MicroPut, LapiCrossesPositiveForLargeMessages) {
+  const auto lapi =
+      measure_improvement(net::power5_lapi(), Op::kPut, quick(256 * 1024));
+  EXPECT_GT(lapi.improvement_pct, 10.0);
+}
+
+TEST(Micro, AbsoluteLatencyAnchorsFromFig7) {
+  // Fig. 7 anchors: GM 8 KB uncached ~65 us; 1-byte roundtrips 4-8 us on
+  // both platforms.
+  core::RuntimeConfig base;
+  base.platform = net::mare_nostrum_gm();
+  base.cache.enabled = false;
+  EXPECT_NEAR(measure_op(base, Op::kGet, quick(8192)).mean_us, 65.0, 8.0);
+  EXPECT_NEAR(measure_op(base, Op::kGet, quick(1)).mean_us, 7.5, 2.5);
+
+  core::RuntimeConfig lapi;
+  lapi.platform = net::power5_lapi();
+  lapi.cache.enabled = false;
+  const double l1 = measure_op(lapi, Op::kGet, quick(1)).mean_us;
+  EXPECT_GT(l1, 4.0);
+  EXPECT_LT(l1, 9.0);
+}
+
+TEST(Micro, CachedIsNeverSlowerForGet) {
+  for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
+    for (std::size_t sz : {1ul, 512ul, 8192ul, 262144ul}) {
+      const auto r = measure_improvement(net::preset(kind), Op::kGet,
+                                         quick(sz));
+      EXPECT_GE(r.improvement_pct, -0.5)
+          << net::preset(kind).name << " size " << sz;
+    }
+  }
+}
+
+TEST(Micro, CountersShowExpectedPaths) {
+  core::RuntimeConfig cached;
+  cached.platform = net::mare_nostrum_gm();
+  const auto r = measure_op(cached, Op::kGet, MicroParams{64, 2, 4});
+  EXPECT_GE(r.counters.rdma_gets, 4u);  // warmed-up iterations are RDMA
+  EXPECT_GE(r.counters.am_gets, 1u);    // the first population miss
+}
+
+TEST(Micro, DeterministicMeasurement) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::power5_lapi();
+  const auto a = measure_op(cfg, Op::kGet, quick(128));
+  const auto b = measure_op(cfg, Op::kGet, quick(128));
+  EXPECT_DOUBLE_EQ(a.mean_us, b.mean_us);
+  EXPECT_EQ(a.ci95_us, 0.0);  // deterministic simulation: no variance
+}
+
+class GetMonotoneProperty : public ::testing::TestWithParam<bool> {};
+
+TEST_P(GetMonotoneProperty, LatencyIsMonotonicInMessageSize) {
+  const bool cached = GetParam();
+  core::RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.cache.enabled = cached;
+  double prev = 0.0;
+  for (std::size_t sz : {1ul, 128ul, 4096ul, 65536ul, 1048576ul}) {
+    const double t = measure_op(cfg, Op::kGet, quick(sz)).mean_us;
+    EXPECT_GT(t, prev) << sz;
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CachedAndNot, GetMonotoneProperty,
+                         ::testing::Bool());
+
+}  // namespace
+}  // namespace xlupc::bench

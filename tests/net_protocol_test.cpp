@@ -1,0 +1,218 @@
+// Protocol-detail tests of the transports: platform-specific thresholds,
+// wire accounting, handler placement (application core vs communication
+// processor) and registration-cache interactions.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "net/machine.h"
+#include "net/transport.h"
+
+namespace xlupc::net {
+namespace {
+
+// Passive target backed by one big buffer per node; counts which CPU
+// context its handlers would need by observing resource usage instead.
+class Target : public AmTarget {
+ public:
+  explicit Target(std::size_t bytes) : bytes_(bytes) {
+    for (int n = 0; n < 4; ++n) store_[n].assign(bytes, std::byte{0});
+  }
+  Addr base(NodeId n) const { return 0x1000u + (static_cast<Addr>(n) << 32); }
+
+  GetServe serve_get(NodeId target, const GetRequest& req) override {
+    GetServe out;
+    out.data.assign(store_[target].begin() + req.offset,
+                    store_[target].begin() + req.offset + req.len);
+    out.src_addr = base(target) + req.offset;
+    if (req.want_base) out.base = BaseInfo{base(target), 9};
+    return out;
+  }
+  PutServe serve_put(NodeId target, PutRequest&& req) override {
+    std::memcpy(store_[target].data() + req.offset, req.data.data(),
+                req.data.size());
+    PutServe out;
+    out.dst_addr = base(target) + req.offset;
+    if (req.want_base) out.base = BaseInfo{base(target), 9};
+    return out;
+  }
+  PutServe serve_put_rendezvous(NodeId target, const PutRequest& req,
+                                std::size_t) override {
+    PutServe out;
+    out.dst_addr = base(target) + req.offset;
+    return out;
+  }
+  void deliver_put_payload(NodeId target, std::uint64_t, std::uint64_t offset,
+                           std::vector<std::byte>&& data) override {
+    std::memcpy(store_[target].data() + offset, data.data(), data.size());
+  }
+  void serve_control(NodeId, NodeId, const ControlMsg&) override {}
+  std::byte* rdma_memory(NodeId target, Addr addr, std::size_t len) override {
+    if (addr < base(target) || addr + len > base(target) + bytes_) {
+      throw RdmaProtocolError("bad address");
+    }
+    return store_[target].data() + (addr - base(target));
+  }
+
+ private:
+  std::size_t bytes_;
+  std::map<NodeId, std::vector<std::byte>> store_;
+};
+
+struct Rig {
+  explicit Rig(PlatformParams p, std::uint32_t cores = 2)
+      : target(8 << 20), machine(sim, std::move(p), {2, cores}) {
+    transport = make_transport(machine, target);
+  }
+  sim::Simulator sim;
+  Target target;
+  Machine machine;
+  std::unique_ptr<Transport> transport;
+};
+
+sim::Duration run_get(Rig& rig, std::uint32_t len,
+                      std::uint32_t target_core = 0) {
+  sim::Time t0 = 0, t1 = 0;
+  rig.sim.spawn([](Rig& r, std::uint32_t l, std::uint32_t tc, sim::Time& a,
+                   sim::Time& b) -> sim::Task<> {
+    GetRequest req;
+    req.len = l;
+    req.target_core = tc;
+    a = r.sim.now();
+    (void)co_await r.transport->get({0, 0}, 1, req);
+    b = r.sim.now();
+  }(rig, len, target_core, t0, t1));
+  rig.sim.run();
+  return t1 - t0;
+}
+
+TEST(Protocol, LapiEagerRegionExtendsTo2MB) {
+  Rig rig(power5_lapi());
+  run_get(rig, 2 * 1024 * 1024);  // at the limit: still eager
+  EXPECT_EQ(rig.transport->stats().am_gets, 1u);
+  EXPECT_EQ(rig.transport->stats().rendezvous_gets, 0u);
+  run_get(rig, 2 * 1024 * 1024 + 1);
+  EXPECT_EQ(rig.transport->stats().rendezvous_gets, 1u);
+}
+
+TEST(Protocol, GmHandlerBlocksBehindBusyTargetCore) {
+  Rig rig(mare_nostrum_gm());
+  // Occupy target core 0 for 200us starting now.
+  rig.sim.spawn([](Rig& r) -> sim::Task<> {
+    co_await r.machine.core(1, 0).use(sim::us(200));
+  }(rig));
+  const auto blocked = run_get(rig, 8, /*target_core=*/0);
+  EXPECT_GT(sim::to_us(blocked), 150.0);  // waited for the busy core
+
+  Rig free_rig(mare_nostrum_gm());
+  const auto free_time = run_get(free_rig, 8, 0);
+  EXPECT_LT(sim::to_us(free_time), 10.0);
+}
+
+TEST(Protocol, GmHandlerOnOtherCoreUnaffected) {
+  Rig rig(mare_nostrum_gm());
+  rig.sim.spawn([](Rig& r) -> sim::Task<> {
+    co_await r.machine.core(1, 0).use(sim::us(200));
+  }(rig));
+  // Data owned by the thread on core 1: its core is idle.
+  const auto t = run_get(rig, 8, /*target_core=*/1);
+  EXPECT_LT(sim::to_us(t), 10.0);
+}
+
+TEST(Protocol, LapiHandlerIgnoresBusyApplicationCores) {
+  Rig rig(power5_lapi());
+  rig.sim.spawn([](Rig& r) -> sim::Task<> {
+    co_await r.machine.core(1, 0).use(sim::us(200));
+  }(rig));
+  const auto t = run_get(rig, 8, /*target_core=*/0);
+  EXPECT_LT(sim::to_us(t), 10.0);  // comm processor serves it
+}
+
+TEST(Protocol, PutWireBytesIncludePayloadAndAck) {
+  Rig rig(mare_nostrum_gm());
+  rig.sim.spawn([](Rig& r) -> sim::Task<> {
+    PutRequest req;
+    req.data.assign(100, std::byte{1});
+    co_await r.transport->put({0, 0}, 1, std::move(req), {});
+  }(rig));
+  rig.sim.run();
+  const auto& p = rig.machine.params();
+  // Data message (header + 100) + ACK (header).
+  EXPECT_EQ(rig.transport->stats().wire_bytes, 2 * p.header_bytes + 100);
+}
+
+TEST(Protocol, RendezvousPutWireBytesIncludeControlRoundtrip) {
+  Rig rig(mare_nostrum_gm());
+  const std::size_t big = 64 * 1024;
+  rig.sim.spawn([](Rig& r, std::size_t n) -> sim::Task<> {
+    PutRequest req;
+    req.data.assign(n, std::byte{1});
+    co_await r.transport->put({0, 0}, 1, std::move(req), {});
+  }(rig, big));
+  rig.sim.run();
+  const auto& p = rig.machine.params();
+  // RTS + CTS + payload message.
+  EXPECT_EQ(rig.transport->stats().wire_bytes, 3 * p.header_bytes + big);
+}
+
+TEST(Protocol, EagerThresholdIsPerPlatform) {
+  Rig gm(mare_nostrum_gm());
+  run_get(gm, 32 * 1024);  // > 16 KB: rendezvous on GM
+  EXPECT_EQ(gm.transport->stats().rendezvous_gets, 1u);
+
+  Rig lapi(power5_lapi());
+  run_get(lapi, 32 * 1024);  // well inside LAPI's eager region
+  EXPECT_EQ(lapi.transport->stats().am_gets, 1u);
+}
+
+TEST(Protocol, RegistrationCacheInvalidationForcesReRegistration) {
+  Rig rig(mare_nostrum_gm());
+  const std::uint32_t big = 128 * 1024;
+  run_get(rig, big);
+  const auto misses_before = rig.transport->reg_cache(1).misses();
+  rig.transport->reg_cache_mut(1).invalidate(rig.target.base(1), big);
+  run_get(rig, big);
+  EXPECT_EQ(rig.transport->reg_cache(1).misses(), misses_before + 1);
+}
+
+TEST(Protocol, ConcurrentGetsToOneLapiNodeOverlapOnCommPool) {
+  // Two simultaneous GETs to the same node: the comm-processor pool
+  // (capacity >= 2) serves both handlers concurrently.
+  auto elapsed_for = [](PlatformParams p) {
+    Rig rig(std::move(p));
+    for (int i = 0; i < 2; ++i) {
+      rig.sim.spawn([](Rig& r, int k) -> sim::Task<> {
+        GetRequest req;
+        req.len = 8192;
+        req.target_core = static_cast<std::uint32_t>(k);
+        (void)co_await r.transport->get({0, 0}, 1, req);
+      }(rig, i));
+    }
+    return rig.sim.run();
+  };
+  // On GM the two handlers run on different target cores anyway; make
+  // them collide by targeting the same core.
+  auto gm_same_core = [] {
+    Rig rig(mare_nostrum_gm());
+    for (int i = 0; i < 2; ++i) {
+      rig.sim.spawn([](Rig& r) -> sim::Task<> {
+        GetRequest req;
+        req.len = 8192;
+        req.target_core = 0;
+        (void)co_await r.transport->get({0, 0}, 1, req);
+      }(rig));
+    }
+    return rig.sim.run();
+  };
+  const auto lapi = elapsed_for(power5_lapi());
+  Rig solo_rig(power5_lapi());
+  const auto solo = run_get(solo_rig, 8192);
+  // Handler overlap: two concurrent ops cost much less than 2x solo.
+  EXPECT_LT(lapi, solo + solo / 2);
+  (void)gm_same_core;
+}
+
+}  // namespace
+}  // namespace xlupc::net

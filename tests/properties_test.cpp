@@ -1,0 +1,320 @@
+// System-level property and failure-injection tests: the platform
+// behaviours the paper's analysis rests on (overlap vs no-overlap,
+// topology, NIC contention), plus stress and randomized oracle checks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/runtime.h"
+#include "sim/stats.h"
+
+namespace xlupc::core {
+namespace {
+
+using sim::Task;
+
+RuntimeConfig make_config(net::TransportKind kind, std::uint32_t nodes,
+                          std::uint32_t tpn) {
+  RuntimeConfig cfg;
+  cfg.platform = net::preset(kind);
+  cfg.nodes = nodes;
+  cfg.threads_per_node = tpn;
+  return cfg;
+}
+
+// Measure an un-cached remote GET issued while the *target* thread is
+// busy computing in long quanta.
+double get_vs_busy_target_us(net::TransportKind kind) {
+  auto cfg = make_config(kind, 2, 1);
+  cfg.cache.enabled = false;
+  Runtime rt(std::move(cfg));
+  sim::RunningStat stat;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(8192, 1, 4096);
+    co_await th.barrier();
+    if (th.id() == 1) {
+      // The target computes in 50 us quanta for a long while.
+      for (int i = 0; i < 60; ++i) co_await th.compute(sim::us(50));
+    } else {
+      std::vector<std::byte> buf(16);
+      co_await th.compute(sim::us(23));  // desynchronize from quanta
+      for (int i = 0; i < 20; ++i) {
+        const auto t0 = th.now();
+        co_await th.get(a, 4096 + i * 16, buf);
+        stat.add(sim::to_us(th.now() - t0));
+        co_await th.compute(sim::us(37));
+      }
+    }
+    co_await th.barrier();
+  });
+  return stat.mean();
+}
+
+TEST(OverlapProperty, GmStallsBehindComputingTargetLapiDoesNot) {
+  // The mechanism behind the paper's Field result (Sec. 4.6/4.7): GM AM
+  // handlers need the target application CPU; LAPI's communication
+  // processor serves them while the application computes.
+  const double gm = get_vs_busy_target_us(net::TransportKind::kGm);
+  const double lapi = get_vs_busy_target_us(net::TransportKind::kLapi);
+  EXPECT_GT(gm, 15.0);        // stalls behind ~50us quanta
+  EXPECT_LT(lapi, 10.0);      // unaffected by the busy CPU
+  EXPECT_GT(gm, 2.0 * lapi);  // the qualitative contrast
+}
+
+TEST(TopologyProperty, MyrinetLatencyGrowsWithRouteLength) {
+  // 1 / 3 / 5 hop routes (Sec. 4.1) must be visible in GET latency.
+  auto measure = [](NodeId target_node, std::uint32_t nodes) {
+    auto cfg = make_config(net::TransportKind::kGm, nodes, 1);
+    cfg.cache.enabled = false;
+    Runtime rt(std::move(cfg));
+    sim::Duration d = 0;
+    rt.run([&, target_node](UpcThread& th) -> Task<void> {
+      auto a = co_await th.all_alloc(rt.threads() * 8, 8, 1);
+      co_await th.barrier();
+      if (th.id() == 0) {
+        const auto t0 = th.now();
+        (void)co_await th.read<std::uint64_t>(a, target_node);
+        d = th.now() - t0;
+      }
+      co_await th.barrier();
+    });
+    return d;
+  };
+  const auto same_linecard = measure(1, 130);    // 1 hop
+  const auto same_group = measure(100, 130);     // 3 hops
+  const auto cross_group = measure(129, 130);    // 5 hops
+  EXPECT_LT(same_linecard, same_group);
+  EXPECT_LT(same_group, cross_group);
+}
+
+TEST(ContentionProperty, SharedNicSerializesConcurrentSenders) {
+  // 4 threads on one blade share the NIC (Sec. 4.6): per-op time under
+  // concurrency must exceed the solo time.
+  auto mean_get_us = [](std::uint32_t active_threads) {
+    auto cfg = make_config(net::TransportKind::kGm, 2, 4);
+    cfg.cache.enabled = false;
+    Runtime rt(std::move(cfg));
+    sim::RunningStat stat;
+    rt.run([&](UpcThread& th) -> Task<void> {
+      // Block 1024: threads 4..7 (node 1) own elements 4096..8191.
+      auto a = co_await th.all_alloc(8192, 1, 1024);
+      co_await th.barrier();
+      if (th.node() == 0 && th.core() < active_threads) {
+        // 1 KB replies oversubscribe the shared reply-side NIC when all
+        // four threads stream, so queueing becomes visible (the solo run
+        // leaves the link mostly idle).
+        std::vector<std::byte> buf(1024);
+        for (int i = 0; i < 16; ++i) {
+          const auto t0 = th.now();
+          co_await th.get(a, (4 + th.core()) * 1024, buf);
+          // Average across all active threads: the deterministic FIFO
+          // favours thread 0, later threads absorb the queueing.
+          stat.add(sim::to_us(th.now() - t0));
+        }
+      }
+      co_await th.barrier();
+    });
+    return stat.mean();
+  };
+  const double solo = mean_get_us(1);
+  const double contended = mean_get_us(4);
+  EXPECT_GT(contended, solo * 1.15);
+}
+
+TEST(FailureInjection, ChunkedAccessCrossingUnpinnedChunkRecovers) {
+  auto cfg = make_config(net::TransportKind::kGm, 2, 1);
+  cfg.pin_strategy = mem::PinStrategy::kChunked;
+  Runtime rt(std::move(cfg));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    // Two pin chunks' worth of remote data.
+    const std::uint64_t half = 2 * mem::kPinChunkBytes;
+    auto a = co_await th.all_alloc(2 * half, 1, half);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      std::vector<std::byte> buf(64);
+      // Populate chunk 0's cache entry.
+      co_await th.get(a, half, buf);
+      // Unpin the second chunk behind the runtime's back, then access a
+      // range starting in chunk 0 but ending in chunk 1: the cache hit
+      // is stale, RDMA NAKs, and the AM fallback must still succeed.
+      const auto* cb = rt.directory(1).find(a.handle);
+      rt.pinned(1).unpin(cb->local_base + mem::kPinChunkBytes,
+                         mem::kPinChunkBytes);
+      std::vector<std::byte> wide(128);
+      co_await th.get(a, half + mem::kPinChunkBytes - 64, wide);
+      EXPECT_GE(rt.counters().rdma_naks, 1u);
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(FailureInjection, DmaBudgetEvictionCausesNakAndRecovery) {
+  auto cfg = make_config(net::TransportKind::kGm, 2, 1);
+  cfg.pin_strategy = mem::PinStrategy::kChunked;
+  cfg.platform.max_dmaable_bytes = 3 * mem::kPinChunkBytes;
+  Runtime rt(std::move(cfg));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    const std::uint64_t half = 4 * mem::kPinChunkBytes;
+    auto a = co_await th.all_alloc(2 * half, 1, half);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      std::vector<std::byte> buf(64);
+      // Touch all four remote chunks; the 3-chunk budget forces the
+      // oldest out. Its cache entry on node 0 is now stale.
+      for (int c = 0; c < 4; ++c) {
+        co_await th.get(a, half + c * mem::kPinChunkBytes, buf);
+      }
+      // Chunk 0 was evicted: hit -> NAK -> fallback -> repin.
+      co_await th.get(a, half, buf);
+      EXPECT_GE(rt.counters().rdma_naks, 1u);
+      // And the access after recovery is RDMA again.
+      const auto rdma_before = rt.counters().rdma_gets;
+      co_await th.get(a, half + 64, buf);
+      EXPECT_EQ(rt.counters().rdma_gets, rdma_before + 1);
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(Stress, ArrayChurnKeepsEveryNodeConsistent) {
+  Runtime rt(make_config(net::TransportKind::kGm, 3, 2));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    for (int round = 0; round < 10; ++round) {
+      auto a = co_await th.all_alloc(60 + round, 8);
+      co_await th.barrier();
+      // Touch remotely so caches and pins populate.
+      (void)co_await th.read<std::uint64_t>(
+          a, (th.id() * 7 + round) % (60 + round));
+      co_await th.barrier();
+      if (th.id() == round % rt.threads()) co_await th.free_array(a);
+      co_await th.barrier();
+    }
+  });
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(rt.memory(n).live_allocations(), 0u);
+    EXPECT_EQ(rt.cache(n).size(), 0u);
+    EXPECT_EQ(rt.pinned(n).pinned_bytes(), 0u);
+    EXPECT_EQ(rt.directory(n).size(), 0u);
+  }
+}
+
+TEST(Stress, LockGrantsAreFifo) {
+  Runtime rt(make_config(net::TransportKind::kGm, 4, 1));
+  std::vector<ThreadId> grant_order;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    static LockDesc lock;
+    if (th.id() == 0) lock = co_await th.lock_alloc();
+    co_await th.barrier();
+    // Stagger the requests so arrival order at the home is 0,1,2,3.
+    co_await th.compute(sim::us(static_cast<double>(th.id()) * 50));
+    co_await th.lock(lock);
+    grant_order.push_back(th.id());
+    co_await th.compute(sim::us(200));  // hold long enough to queue all
+    co_await th.unlock(lock);
+    co_await th.barrier();
+  });
+  ASSERT_EQ(grant_order.size(), 4u);
+  for (ThreadId t = 0; t < 4; ++t) {
+    EXPECT_EQ(grant_order[t], t);
+  }
+}
+
+struct MemCase {
+  std::uint64_t n, elem, block;
+  std::uint32_t nodes, tpn;
+};
+
+class MemMoveOracle : public ::testing::TestWithParam<MemCase> {};
+
+TEST_P(MemMoveOracle, RandomMemputMemgetMatchOracle) {
+  const auto& c = GetParam();
+  auto cfg = make_config(net::TransportKind::kGm, c.nodes, c.tpn);
+  Runtime rt(std::move(cfg));
+  // Oracle: a plain vector mirroring the shared array.
+  std::vector<std::byte> oracle(c.n * c.elem, std::byte{0});
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(c.n, c.elem, c.block);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      sim::Rng rng(c.n * 31 + c.nodes);
+      for (int op = 0; op < 24; ++op) {
+        const std::uint64_t start = rng.below(c.n);
+        const std::uint64_t count = 1 + rng.below(c.n - start);
+        std::vector<std::byte> buf(count * c.elem);
+        if (rng.chance(0.5)) {
+          for (auto& b : buf) {
+            b = static_cast<std::byte>(rng.below(256));
+          }
+          co_await th.memput(a, start, buf);
+          co_await th.fence();
+          std::memcpy(oracle.data() + start * c.elem, buf.data(),
+                      buf.size());
+        } else {
+          co_await th.memget(a, start, buf);
+          EXPECT_EQ(std::memcmp(buf.data(), oracle.data() + start * c.elem,
+                                buf.size()),
+                    0)
+              << "start " << start << " count " << count;
+        }
+      }
+    }
+    co_await th.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MemMoveOracle,
+    ::testing::Values(MemCase{64, 8, 4, 2, 1}, MemCase{100, 4, 7, 2, 2},
+                      MemCase{33, 16, 5, 3, 1}, MemCase{256, 1, 16, 4, 2},
+                      MemCase{97, 8, 0, 2, 4}, MemCase{128, 2, 1, 4, 1}));
+
+TEST(Stress, ManyArraysShareTheCacheFairly) {
+  auto cfg = make_config(net::TransportKind::kGm, 2, 1);
+  cfg.cache.max_entries = 4;
+  Runtime rt(std::move(cfg));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    std::vector<ArrayDesc> arrays;
+    for (int k = 0; k < 8; ++k) {
+      arrays.push_back(co_await th.all_alloc(16, 8, 8));
+    }
+    co_await th.barrier();
+    if (th.id() == 0) {
+      // Touch all 8 arrays remotely: only 4 (handle, node) entries fit.
+      for (const auto& a : arrays) {
+        (void)co_await th.read<std::uint64_t>(a, 8);
+      }
+      EXPECT_EQ(rt.cache(0).size(), 4u);
+      EXPECT_EQ(rt.cache(0).stats().evictions, 4u);
+      // The most recently used arrays still hit.
+      const auto hits_before = rt.cache(0).stats().hits;
+      (void)co_await th.read<std::uint64_t>(arrays.back(), 9);
+      EXPECT_EQ(rt.cache(0).stats().hits, hits_before + 1);
+    }
+    co_await th.barrier();
+  });
+}
+
+TEST(Stress, BarrierAndReduceStormStaysConsistent) {
+  Runtime rt(make_config(net::TransportKind::kLapi, 4, 8));
+  std::vector<std::uint64_t> totals;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto counter = co_await th.all_alloc(1, 8, 1);
+    co_await th.barrier();
+    for (int round = 0; round < 12; ++round) {
+      (void)co_await th.fetch_add(counter, 0, 1);
+      co_await th.barrier();
+      if (th.id() == 0) {
+        totals.push_back(co_await th.read<std::uint64_t>(counter, 0));
+      }
+      co_await th.barrier();
+    }
+  });
+  ASSERT_EQ(totals.size(), 12u);
+  for (std::size_t r = 0; r < totals.size(); ++r) {
+    EXPECT_EQ(totals[r], (r + 1) * 32);  // 32 threads per round
+  }
+}
+
+}  // namespace
+}  // namespace xlupc::core

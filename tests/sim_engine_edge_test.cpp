@@ -1,0 +1,184 @@
+// Edge-case tests for the simulation engine and the DIS wrappers:
+// coroutine lifetime corners, resource exception paths, repeated runs on
+// one Runtime, and workload plumbing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/runtime.h"
+#include "dis/pointer.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace xlupc {
+namespace {
+
+using sim::Task;
+
+TEST(TaskEdge, MoveOnlyResultTypesWork) {
+  sim::Simulator s;
+  std::unique_ptr<int> got;
+  auto make = []() -> Task<std::unique_ptr<int>> {
+    co_return std::make_unique<int>(31);
+  };
+  s.spawn([](Task<std::unique_ptr<int>> t,
+             std::unique_ptr<int>& out) -> Task<> {
+    out = co_await std::move(t);
+  }(make(), got));
+  s.run();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 31);
+}
+
+TEST(TaskEdge, DeepAwaitChainsDontOverflow) {
+  // Symmetric transfer: a 10k-deep chain must not blow the stack.
+  sim::Simulator s;
+  std::function<Task<int>(int)> chain = [&chain](int depth) -> Task<int> {
+    if (depth == 0) co_return 0;
+    co_return 1 + co_await chain(depth - 1);
+  };
+  int result = 0;
+  s.spawn([](Task<int> t, int& out) -> Task<> {
+    out = co_await std::move(t);
+  }(chain(10000), result));
+  s.run();
+  EXPECT_EQ(result, 10000);
+}
+
+TEST(ResourceEdge, ExceptionWhileHoldingDoesNotCorruptCount) {
+  sim::Simulator s;
+  sim::Resource r(s, 1);
+  s.spawn([](sim::Simulator& sim, sim::Resource& res) -> Task<> {
+    co_await res.acquire();
+    co_await sim.delay(sim::us(1));
+    res.release();
+    throw std::runtime_error("after release");
+  }(s, r));
+  EXPECT_THROW(s.run(), std::runtime_error);
+  EXPECT_EQ(r.in_use(), 0u);
+  // The resource remains usable afterwards.
+  bool ok = false;
+  s.spawn([](sim::Resource& res, bool& o) -> Task<> {
+    co_await res.use(sim::us(1));
+    o = true;
+  }(r, ok));
+  s.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(TriggerEdge, FireFromWithinResumedWaiter) {
+  // A waiter that fires another trigger during its resumption must not
+  // re-enter anything unsafely (resumption is via the event loop).
+  sim::Simulator s;
+  sim::Trigger a(s), b(s);
+  int order = 0, a_seen = 0, b_seen = 0;
+  s.spawn([](sim::Trigger& ta, sim::Trigger& tb, int& ord,
+             int& seen) -> Task<> {
+    co_await ta.wait();
+    seen = ++ord;
+    tb.fire();
+  }(a, b, order, a_seen));
+  s.spawn([](sim::Trigger& tb, int& ord, int& seen) -> Task<> {
+    co_await tb.wait();
+    seen = ++ord;
+  }(b, order, b_seen));
+  s.schedule_at(sim::us(1), [&] { a.fire(); });
+  s.run();
+  EXPECT_EQ(a_seen, 1);
+  EXPECT_EQ(b_seen, 2);
+}
+
+TEST(RuntimeEdge, RunTwiceContinuesSimulatedTime) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.nodes = 2;
+  cfg.threads_per_node = 1;
+  core::Runtime rt(std::move(cfg));
+  rt.run([&](core::UpcThread& th) -> Task<void> {
+    co_await th.compute(sim::us(10));
+    co_await th.barrier();
+  });
+  const auto after_first = rt.elapsed();
+  EXPECT_GT(after_first, 0u);
+  rt.run([&](core::UpcThread& th) -> Task<void> {
+    co_await th.compute(sim::us(10));
+    co_await th.barrier();
+  });
+  EXPECT_GT(rt.elapsed(), after_first);
+}
+
+TEST(RuntimeEdge, CountersAccumulateAcrossRuns) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.nodes = 2;
+  cfg.threads_per_node = 1;
+  core::Runtime rt(std::move(cfg));
+  core::ArrayDesc arr;
+  rt.run([&](core::UpcThread& th) -> Task<void> {
+    arr = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) (void)co_await th.read<std::uint64_t>(arr, 8);
+    co_await th.barrier();
+  });
+  const auto first = rt.counters().am_gets + rt.counters().rdma_gets;
+  rt.run([&](core::UpcThread& th) -> Task<void> {
+    if (th.id() == 0) (void)co_await th.read<std::uint64_t>(arr, 9);
+    co_await th.barrier();
+  });
+  EXPECT_EQ(rt.counters().am_gets + rt.counters().rdma_gets, first + 1);
+}
+
+TEST(DisPlumbing, WarmCacheFlagControlsColdStart) {
+  dis::PointerParams warm;
+  warm.hops = 24;
+  dis::PointerParams cold = warm;
+  cold.warm_cache = false;
+  auto cfg = [] {
+    core::RuntimeConfig c;
+    c.platform = net::mare_nostrum_gm();
+    c.nodes = 4;
+    c.threads_per_node = 2;
+    return c;
+  };
+  const auto w = dis::run_pointer(cfg(), warm);
+  const auto c = dis::run_pointer(cfg(), cold);
+  // Cold start must show misses; warm start must not.
+  EXPECT_EQ(w.cache.misses, 0u);
+  EXPECT_GT(c.cache.misses, 0u);
+  EXPECT_GT(c.time_us, w.time_us);  // population costs show up in time
+}
+
+TEST(DisPlumbing, ObserveNodeSelectsWhichCacheIsReported) {
+  dis::PointerParams p;
+  p.hops = 24;
+  p.observe_node = 2;
+  core::RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.nodes = 4;
+  cfg.threads_per_node = 2;
+  const auto r = dis::run_pointer(std::move(cfg), p);
+  EXPECT_GT(r.cache.hits + r.cache.misses, 0u);  // node 2 saw traffic
+}
+
+TEST(DisPlumbing, SeedChangesWorkloadButNotValidity) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    core::RuntimeConfig cfg;
+    cfg.platform = net::mare_nostrum_gm();
+    cfg.nodes = 4;
+    cfg.threads_per_node = 2;
+    cfg.seed = seed;
+    dis::PointerParams p;
+    p.hops = 24;
+    return dis::run_pointer(std::move(cfg), p).time_us;
+  };
+  const double a = run_with_seed(1);
+  const double b = run_with_seed(2);
+  EXPECT_GT(a, 0.0);
+  EXPECT_GT(b, 0.0);
+  EXPECT_NE(a, b);  // different random hop sequences
+}
+
+}  // namespace
+}  // namespace xlupc

@@ -1,0 +1,137 @@
+// Tests for the statistics helpers and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace xlupc::sim {
+namespace {
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyAndSingleSampleAreSafe) {
+  RunningStat s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.ci95_half(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_half(), 0.0);
+}
+
+TEST(RunningStat, Ci95ShrinksWithSamples) {
+  RunningStat small, large;
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  rng.reseed(7);
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci95_half(), large.ci95_half());
+}
+
+TEST(Samples, PercentilesInterpolate) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0.95), 95.05, 1e-9);
+}
+
+TEST(Samples, PercentileOnEmptyThrows) {
+  Samples s;
+  EXPECT_THROW(s.percentile(0.5), std::logic_error);
+}
+
+TEST(Improvement, MatchesPaperFormula) {
+  // 100 (Z - W) / Z — Fig. 6/9 caption.
+  EXPECT_DOUBLE_EQ(improvement_percent(10.0, 6.0), 40.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(10.0, 30.0), -200.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(0.0, 5.0), 0.0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(9);
+  const std::uint64_t first = a.next_u64();
+  a.next_u64();
+  a.reseed(9);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.between(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+class RngBelowProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBelowProperty, StaysInRangeAndCoversIt) {
+  const std::uint64_t bound = GetParam();
+  Rng r(bound * 31 + 1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = r.below(bound);
+    ASSERT_LT(v, bound);
+    seen.insert(v);
+  }
+  // Small bounds must be fully covered by 2000 draws.
+  if (bound <= 16) EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RngBelowProperty,
+                         ::testing::Values(1, 2, 3, 7, 16, 100, 1 << 20));
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(77);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, RoughlyUniformMean) {
+  Rng r(13);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace xlupc::sim
