@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resolution.dir/ablation_resolution.cpp.o"
+  "CMakeFiles/ablation_resolution.dir/ablation_resolution.cpp.o.d"
+  "ablation_resolution"
+  "ablation_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_benchmarks.dir/app_benchmarks.cpp.o"
+  "CMakeFiles/app_benchmarks.dir/app_benchmarks.cpp.o.d"
+  "app_benchmarks"
+  "app_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_stressmarks.dir/fig9_stressmarks.cpp.o"
+  "CMakeFiles/fig9_stressmarks.dir/fig9_stressmarks.cpp.o.d"
+  "fig9_stressmarks"
+  "fig9_stressmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_stressmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_datastructures.cpp" "bench/CMakeFiles/micro_datastructures.dir/micro_datastructures.cpp.o" "gcc" "bench/CMakeFiles/micro_datastructures.dir/micro_datastructures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xlupc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xlupc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xlupc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xlupc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/svd/CMakeFiles/xlupc_svd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

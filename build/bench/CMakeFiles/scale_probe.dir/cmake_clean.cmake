@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_probe.dir/scale_probe.cpp.o"
+  "CMakeFiles/scale_probe.dir/scale_probe.cpp.o.d"
+  "scale_probe"
+  "scale_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_cache_census.dir/tab_cache_census.cpp.o"
+  "CMakeFiles/tab_cache_census.dir/tab_cache_census.cpp.o.d"
+  "tab_cache_census"
+  "tab_cache_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_cache_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_field_trace.dir/tab_field_trace.cpp.o"
+  "CMakeFiles/tab_field_trace.dir/tab_field_trace.cpp.o.d"
+  "tab_field_trace"
+  "tab_field_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_field_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_miss_overhead.dir/tab_miss_overhead.cpp.o"
+  "CMakeFiles/tab_miss_overhead.dir/tab_miss_overhead.cpp.o.d"
+  "tab_miss_overhead"
+  "tab_miss_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_miss_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

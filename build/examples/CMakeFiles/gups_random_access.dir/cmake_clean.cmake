@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gups_random_access.dir/gups_random_access.cpp.o"
+  "CMakeFiles/gups_random_access.dir/gups_random_access.cpp.o.d"
+  "gups_random_access"
+  "gups_random_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gups_random_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

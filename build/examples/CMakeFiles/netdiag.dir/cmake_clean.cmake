@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netdiag.dir/netdiag.cpp.o"
+  "CMakeFiles/netdiag.dir/netdiag.cpp.o.d"
+  "netdiag"
+  "netdiag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netdiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

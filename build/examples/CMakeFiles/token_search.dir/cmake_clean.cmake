@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_search.dir/token_search.cpp.o"
+  "CMakeFiles/token_search.dir/token_search.cpp.o.d"
+  "token_search"
+  "token_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

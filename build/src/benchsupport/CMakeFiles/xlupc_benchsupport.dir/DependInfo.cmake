@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsupport/microbench.cpp" "src/benchsupport/CMakeFiles/xlupc_benchsupport.dir/microbench.cpp.o" "gcc" "src/benchsupport/CMakeFiles/xlupc_benchsupport.dir/microbench.cpp.o.d"
+  "/root/repo/src/benchsupport/table.cpp" "src/benchsupport/CMakeFiles/xlupc_benchsupport.dir/table.cpp.o" "gcc" "src/benchsupport/CMakeFiles/xlupc_benchsupport.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xlupc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xlupc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xlupc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xlupc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/svd/CMakeFiles/xlupc_svd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlupc_benchsupport.dir/microbench.cpp.o"
+  "CMakeFiles/xlupc_benchsupport.dir/microbench.cpp.o.d"
+  "CMakeFiles/xlupc_benchsupport.dir/table.cpp.o"
+  "CMakeFiles/xlupc_benchsupport.dir/table.cpp.o.d"
+  "libxlupc_benchsupport.a"
+  "libxlupc_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlupc_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

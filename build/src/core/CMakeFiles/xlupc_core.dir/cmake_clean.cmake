@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlupc_core.dir/address_cache.cpp.o"
+  "CMakeFiles/xlupc_core.dir/address_cache.cpp.o.d"
+  "CMakeFiles/xlupc_core.dir/layout.cpp.o"
+  "CMakeFiles/xlupc_core.dir/layout.cpp.o.d"
+  "CMakeFiles/xlupc_core.dir/pointer_to_shared.cpp.o"
+  "CMakeFiles/xlupc_core.dir/pointer_to_shared.cpp.o.d"
+  "CMakeFiles/xlupc_core.dir/runtime.cpp.o"
+  "CMakeFiles/xlupc_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/xlupc_core.dir/trace.cpp.o"
+  "CMakeFiles/xlupc_core.dir/trace.cpp.o.d"
+  "libxlupc_core.a"
+  "libxlupc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlupc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlupc_dis.dir/field.cpp.o"
+  "CMakeFiles/xlupc_dis.dir/field.cpp.o.d"
+  "CMakeFiles/xlupc_dis.dir/neighborhood.cpp.o"
+  "CMakeFiles/xlupc_dis.dir/neighborhood.cpp.o.d"
+  "CMakeFiles/xlupc_dis.dir/pointer.cpp.o"
+  "CMakeFiles/xlupc_dis.dir/pointer.cpp.o.d"
+  "CMakeFiles/xlupc_dis.dir/update.cpp.o"
+  "CMakeFiles/xlupc_dis.dir/update.cpp.o.d"
+  "libxlupc_dis.a"
+  "libxlupc_dis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlupc_dis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cpp" "src/mem/CMakeFiles/xlupc_mem.dir/address_space.cpp.o" "gcc" "src/mem/CMakeFiles/xlupc_mem.dir/address_space.cpp.o.d"
+  "/root/repo/src/mem/pinned_table.cpp" "src/mem/CMakeFiles/xlupc_mem.dir/pinned_table.cpp.o" "gcc" "src/mem/CMakeFiles/xlupc_mem.dir/pinned_table.cpp.o.d"
+  "/root/repo/src/mem/registration_cache.cpp" "src/mem/CMakeFiles/xlupc_mem.dir/registration_cache.cpp.o" "gcc" "src/mem/CMakeFiles/xlupc_mem.dir/registration_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

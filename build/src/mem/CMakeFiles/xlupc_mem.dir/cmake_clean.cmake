@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlupc_mem.dir/address_space.cpp.o"
+  "CMakeFiles/xlupc_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/xlupc_mem.dir/pinned_table.cpp.o"
+  "CMakeFiles/xlupc_mem.dir/pinned_table.cpp.o.d"
+  "CMakeFiles/xlupc_mem.dir/registration_cache.cpp.o"
+  "CMakeFiles/xlupc_mem.dir/registration_cache.cpp.o.d"
+  "libxlupc_mem.a"
+  "libxlupc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlupc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

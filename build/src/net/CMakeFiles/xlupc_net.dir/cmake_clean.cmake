@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlupc_net.dir/machine.cpp.o"
+  "CMakeFiles/xlupc_net.dir/machine.cpp.o.d"
+  "CMakeFiles/xlupc_net.dir/params.cpp.o"
+  "CMakeFiles/xlupc_net.dir/params.cpp.o.d"
+  "CMakeFiles/xlupc_net.dir/topology.cpp.o"
+  "CMakeFiles/xlupc_net.dir/topology.cpp.o.d"
+  "CMakeFiles/xlupc_net.dir/transport.cpp.o"
+  "CMakeFiles/xlupc_net.dir/transport.cpp.o.d"
+  "libxlupc_net.a"
+  "libxlupc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlupc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

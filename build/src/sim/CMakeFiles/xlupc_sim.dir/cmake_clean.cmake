@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlupc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/xlupc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/xlupc_sim.dir/resource.cpp.o"
+  "CMakeFiles/xlupc_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/xlupc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/xlupc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/xlupc_sim.dir/stats.cpp.o"
+  "CMakeFiles/xlupc_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/xlupc_sim.dir/sync.cpp.o"
+  "CMakeFiles/xlupc_sim.dir/sync.cpp.o.d"
+  "libxlupc_sim.a"
+  "libxlupc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlupc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

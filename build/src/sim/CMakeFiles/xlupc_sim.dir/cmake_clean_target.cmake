@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxlupc_sim.a"
+)

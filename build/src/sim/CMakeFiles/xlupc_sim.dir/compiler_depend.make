@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xlupc_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlupc_svd.dir/directory.cpp.o"
+  "CMakeFiles/xlupc_svd.dir/directory.cpp.o.d"
+  "libxlupc_svd.a"
+  "libxlupc_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlupc_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchsupport_test.dir/benchsupport_test.cpp.o"
+  "CMakeFiles/benchsupport_test.dir/benchsupport_test.cpp.o.d"
+  "benchsupport_test"
+  "benchsupport_test.pdb"
+  "benchsupport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchsupport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cache_test.dir/core_cache_test.cpp.o"
+  "CMakeFiles/core_cache_test.dir/core_cache_test.cpp.o.d"
+  "core_cache_test"
+  "core_cache_test.pdb"
+  "core_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stressmark_test.dir/stressmark_test.cpp.o"
+  "CMakeFiles/stressmark_test.dir/stressmark_test.cpp.o.d"
+  "stressmark_test"
+  "stressmark_test.pdb"
+  "stressmark_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stressmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/svd_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/core_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/core_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/stressmark_test[1]_include.cmake")
+include("/root/repo/build/tests/microbench_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/atomics_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/api_surface_test[1]_include.cmake")
+include("/root/repo/build/tests/net_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/benchsupport_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_edge_test[1]_include.cmake")
