@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
 #include "sim/stats.h"
@@ -25,7 +26,8 @@ namespace {
 /// Mean GET latency with the eager limit forced so the chosen protocol is
 /// used at every size; each access targets a previously untouched offset.
 double fresh_region_latency_us(net::PlatformParams platform,
-                               std::size_t eager_limit, std::size_t size) {
+                               std::size_t eager_limit, std::size_t size,
+                               core::RunReport* report = nullptr) {
   platform.eager_limit = eager_limit;
   platform.both_copy_limit = eager_limit;
   core::RuntimeConfig cfg;
@@ -53,17 +55,20 @@ double fresh_region_latency_us(net::PlatformParams platform,
     }
     co_await th.barrier();
   });
+  if (report != nullptr) *report = rt.metrics();
   return stat.mean();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("ablation_protocols", argc, argv);
   std::printf(
       "Ablation: bounce-buffer (eager) vs rendezvous GET, uncached path,\n"
       "fresh target region per access (registration never amortized).\n\n");
   const std::vector<std::size_t> sizes = {256,    1024,   4096,    16384,
                                           65536,  262144, 1048576};
+  core::RunReport representative;
   for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
     const auto platform = net::preset(kind);
     std::printf("%s\n\n", platform.name.c_str());
@@ -72,13 +77,18 @@ int main() {
     std::size_t crossover = 0;
     for (std::size_t size : sizes) {
       const double eager = fresh_region_latency_us(platform, 1 << 30, size);
-      const double rndv = fresh_region_latency_us(platform, 0, size);
+      // Metrics: forced-rendezvous 64 KB GETs on GM (registration cost
+      // visible in regcache.misses / pin.registrations).
+      const bool keep = kind == net::TransportKind::kGm && size == 65536;
+      const double rndv = fresh_region_latency_us(
+          platform, 0, size, keep ? &representative : nullptr);
       if (crossover == 0 && rndv < eager) crossover = size;
       const char* def = size <= platform.eager_limit ? "eager" : "rndv";
       table.row({std::to_string(size), fmt(eager, 1), fmt(rndv, 1),
                  rndv < eager ? "rndv" : "eager", def});
     }
     table.print();
+    rep.results(table, kind == net::TransportKind::kGm ? "gm" : "lapi");
     if (crossover != 0) {
       std::printf("  first rendezvous win at %zu B (platform default "
                   "eager limit: %zu B)\n\n",
@@ -91,5 +101,8 @@ int main() {
       "paper reference: the crossover differs per machine (GM's expensive\n"
       "registration pushes it higher than raw copy costs suggest), which\n"
       "is exactly why per-machine protocol tuning is needed (Sec. 5).\n");
-  return 0;
+  rep.config("metrics_run",
+             bench::Json::str("GM forced-rendezvous 64KB fresh-region GETs"));
+  rep.metrics(representative);
+  return rep.finish();
 }

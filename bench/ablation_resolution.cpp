@@ -15,6 +15,7 @@
 // the resulting runtime.
 #include <cstdio>
 
+#include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "dis/pointer.h"
 
@@ -28,6 +29,7 @@ struct Outcome {
   std::size_t entries = 0;         // per-node resolution state
   std::uint64_t control_msgs = 0;  // allocation-time publication traffic
   double hit_rate = 0.0;
+  core::RunReport report;
 };
 
 Outcome run(std::uint32_t nodes, int mode) {
@@ -56,12 +58,14 @@ Outcome run(std::uint32_t nodes, int mode) {
   out.entries = r.cache_entries;
   out.control_msgs = r.transport.control_msgs;
   out.hit_rate = r.cache.hit_rate();
+  out.report = r.report;
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("ablation_resolution", argc, argv);
   std::printf(
       "Ablation: address-resolution strategies (paper Sec. 2.1), Pointer\n"
       "Stressmark, hybrid GM, 4 threads/node\n\n");
@@ -71,6 +75,12 @@ int main() {
     const Outcome svd = run(nodes, 0);
     const Outcome cache = run(nodes, 1);
     const Outcome full = run(nodes, 2);
+    if (nodes == 16) {
+      // Metrics: the paper-default strategy at the middle scale.
+      rep.config("metrics_run",
+                 bench::Json::str("Pointer GM 16 nodes, addr-cache"));
+      rep.metrics(cache.report);
+    }
     auto row = [&](const char* name, const Outcome& o) {
       table.row({std::to_string(nodes), name, fmt(o.time_us, 1),
                  fmt(100.0 * (svd.time_us - o.time_us) / svd.time_us, 1) + "%",
@@ -88,5 +98,6 @@ int main() {
       "allocation traffic O(nodes^2) — 'prohibitively expensive ...\n"
       "directly impacting scalability' — while the cache bounds state at\n"
       "its configured limit and needs no allocation-time broadcast.\n");
-  return 0;
+  rep.results(table);
+  return rep.finish();
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/forall.h"
 #include "core/runtime.h"
@@ -35,7 +36,8 @@ core::RuntimeConfig make_config(net::TransportKind kind, bool cache) {
   return cfg;
 }
 
-double run_stencil(net::TransportKind kind, bool cache) {
+double run_stencil(net::TransportKind kind, bool cache,
+                   core::RunReport* report) {
   core::Runtime rt(make_config(kind, cache));
   sim::Time t0 = 0, t1 = 0;
   rt.run([&](UpcThread& th) -> Task<void> {
@@ -62,10 +64,12 @@ double run_stencil(net::TransportKind kind, bool cache) {
     }
     if (th.id() == 0) t1 = th.now();
   });
+  if (report != nullptr) *report = rt.metrics();
   return sim::to_us(t1 - t0);
 }
 
-double run_spmv(net::TransportKind kind, bool cache) {
+double run_spmv(net::TransportKind kind, bool cache,
+                core::RunReport* report) {
   core::Runtime rt(make_config(kind, cache));
   constexpr std::uint64_t kN = 1024;
   sim::Time t0 = 0, t1 = 0;
@@ -89,10 +93,12 @@ double run_spmv(net::TransportKind kind, bool cache) {
     }
     if (th.id() == 0) t1 = th.now();
   });
+  if (report != nullptr) *report = rt.metrics();
   return sim::to_us(t1 - t0);
 }
 
-double run_gups(net::TransportKind kind, bool cache) {
+double run_gups(net::TransportKind kind, bool cache,
+                core::RunReport* report) {
   core::Runtime rt(make_config(kind, cache));
   constexpr std::uint64_t kN = 8192;
   sim::Time t0 = 0, t1 = 0;
@@ -108,12 +114,14 @@ double run_gups(net::TransportKind kind, bool cache) {
     co_await th.barrier();
     if (th.id() == 0) t1 = th.now();
   });
+  if (report != nullptr) *report = rt.metrics();
   return sim::to_us(t1 - t0);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("app_benchmarks", argc, argv);
   std::printf(
       "Application-level evaluation (the paper's Sec. 6 future work):\n"
       "address-cache benefit on three mini-apps, 16 threads / 4 nodes\n\n");
@@ -121,15 +129,19 @@ int main() {
                       "improvement %"});
   struct App {
     const char* name;
-    double (*fn)(net::TransportKind, bool);
+    double (*fn)(net::TransportKind, bool, core::RunReport*);
   };
   const App apps[] = {{"stencil", run_stencil},
                       {"spmv", run_spmv},
                       {"gups", run_gups}};
+  core::RunReport representative;
   for (const App& app : apps) {
     for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
-      const double z = app.fn(kind, false);
-      const double w = app.fn(kind, true);
+      const double z = app.fn(kind, false, nullptr);
+      // Metrics: the cached GM stencil run (static neighbour pattern).
+      const bool keep =
+          app.fn == run_stencil && kind == net::TransportKind::kGm;
+      const double w = app.fn(kind, true, keep ? &representative : nullptr);
       table.row({app.name,
                  kind == net::TransportKind::kGm ? "GM" : "LAPI",
                  fmt(z, 1), fmt(w, 1), fmt(100.0 * (z - w) / z, 1)});
@@ -141,5 +153,9 @@ int main() {
       "microbenchmark gains because their few cache entries never evict;\n"
       "gups sits lower, like Pointer, because every access is a surprise\n"
       "(yet the piggybacked population still covers the node set).\n");
-  return 0;
+  rep.config(make_config(net::TransportKind::kGm, true));
+  rep.config("metrics_run", bench::Json::str("stencil GM, cached"));
+  rep.metrics(representative);
+  rep.results(table);
+  return rep.finish();
 }

@@ -15,13 +15,15 @@
 #include <vector>
 
 #include "benchsupport/microbench.h"
+#include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "net/params.h"
 
 using namespace xlupc;
 using bench::fmt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("fig6_latency_improvement", argc, argv);
   const std::vector<std::size_t> sizes = {
       1,       4,       16,      64,        256,       1024,
       4096,    16384,   65536,   262144,    1048576,   4194304};
@@ -52,5 +54,19 @@ int main() {
       "\npaper reference: GET <=1KB: GM ~30%%, LAPI ~16%%; 1-16KB: ~40%%;\n"
       "fading large (LAPI ~2MB). PUT: GM ~0%% below 2KB; LAPI down to "
       "-200%%.\n");
-  return 0;
+
+  if (rep.json_enabled()) {
+    // Metrics from one representative run: the cached 8 B GET on GM.
+    core::RuntimeConfig cfg;
+    cfg.platform = gm;
+    cfg.cache.enabled = true;
+    bench::MicroParams p = mp;
+    p.msg_bytes = 8;
+    const auto r = bench::measure_op(cfg, bench::Op::kGet, p);
+    rep.config(cfg);
+    rep.config("metrics_run", bench::Json::str("GM cached 8B GET"));
+    rep.metrics(r.report);
+  }
+  rep.results(table);
+  return rep.finish();
 }

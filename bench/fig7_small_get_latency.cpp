@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "benchsupport/microbench.h"
+#include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "net/params.h"
 
@@ -16,18 +17,18 @@ using bench::fmt;
 
 namespace {
 
-double latency_us(const net::PlatformParams& platform, bool cached,
-                  std::size_t size) {
+bench::MicroResult measure(const net::PlatformParams& platform, bool cached,
+                           std::size_t size) {
   core::RuntimeConfig cfg;
   cfg.platform = platform;
   cfg.cache.enabled = cached;
-  return bench::measure_op(std::move(cfg), bench::Op::kGet, {size, 4, 12})
-      .mean_us;
+  return bench::measure_op(std::move(cfg), bench::Op::kGet, {size, 4, 12});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("fig7_small_get_latency", argc, argv);
   std::printf(
       "Figure 7: GET latency (us) with and without the address cache,\n"
       "short message sizes\n\n");
@@ -35,15 +36,30 @@ int main() {
                       "LAPI cached"});
   const auto gm = net::mare_nostrum_gm();
   const auto lapi = net::power5_lapi();
+  // The metrics section of the JSON report describes one representative
+  // run: the cached 8 B GET on GM (the paper's headline data point).
+  core::RunReport representative;
   for (std::size_t size = 1; size <= 8192; size *= 2) {
-    table.row({std::to_string(size), fmt(latency_us(gm, false, size), 2),
-               fmt(latency_us(gm, true, size), 2),
-               fmt(latency_us(lapi, false, size), 2),
-               fmt(latency_us(lapi, true, size), 2)});
+    const bench::MicroResult gm_cached = measure(gm, true, size);
+    if (size == 8) representative = gm_cached.report;
+    table.row({std::to_string(size),
+               fmt(measure(gm, false, size).mean_us, 2),
+               fmt(gm_cached.mean_us, 2),
+               fmt(measure(lapi, false, size).mean_us, 2),
+               fmt(measure(lapi, true, size).mean_us, 2)});
   }
   table.print();
   std::printf(
       "\npaper reference: 1B roundtrips 4-8us on both networks; GM 8KB\n"
       "uncached ~65us; cached strictly below uncached everywhere.\n");
-  return 0;
+
+  core::RuntimeConfig rep_cfg;
+  rep_cfg.platform = gm;
+  rep_cfg.cache.enabled = true;
+  rep.config(rep_cfg);
+  rep.config("sizes_bytes", bench::Json::str("1..8192 (powers of two)"));
+  rep.config("metrics_run", bench::Json::str("GM cached 8B GET"));
+  rep.metrics(representative);
+  rep.results(table);
+  return rep.finish();
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "dis/field.h"
 #include "dis/neighborhood.h"
@@ -34,8 +35,8 @@ core::RuntimeConfig config(net::TransportKind kind, const Scale& s) {
   return cfg;
 }
 
-void panel(const char* title, net::TransportKind kind,
-           const std::vector<Scale>& scales) {
+void panel(bench::Reporter& rep, const char* series, const char* title,
+           net::TransportKind kind, const std::vector<Scale>& scales) {
   std::printf("%s\n\n", title);
   bench::Table table({"threads-nodes", "Pointer %", "Update %",
                       "Neighborhood %", "Field %"});
@@ -58,13 +59,15 @@ void panel(const char* title, net::TransportKind kind,
   }
   table.print();
   std::printf("\n");
+  rep.results(table, series);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("fig9_stressmarks", argc, argv);
   // (a) MareNostrum hybrid GM: 4 UPC threads per blade (Sec. 4.6).
-  panel("Figure 9a: DIS improvement, hybrid GM (MareNostrum)",
+  panel(rep, "fig9a_gm", "Figure 9a: DIS improvement, hybrid GM (MareNostrum)",
         net::TransportKind::kGm,
         {{8, 2},
          {16, 4},
@@ -77,7 +80,8 @@ int main() {
          {2048, 512}});
 
   // (b) Power5 cluster, LAPI: the paper's thread-node pairs (Sec. 4.7).
-  panel("Figure 9b: DIS improvement, hybrid LAPI (Power5 cluster)",
+  panel(rep, "fig9b_lapi",
+        "Figure 9b: DIS improvement, hybrid LAPI (Power5 cluster)",
         net::TransportKind::kLapi,
         {{4, 2},
          {8, 2},
@@ -92,5 +96,16 @@ int main() {
       "paper reference: GM Pointer 30-60%%, Update 11-22%%, Neighborhood\n"
       "10-20%%, Field 35-40%%; LAPI comparable except Field ~0%% (LAPI\n"
       "overlaps communication and computation).\n");
-  return 0;
+
+  if (rep.json_enabled()) {
+    // Metrics from one representative cached run: Pointer at GM 8-2.
+    core::RuntimeConfig cfg = config(net::TransportKind::kGm, {8, 2});
+    dis::PointerParams pp;
+    pp.hops = 48;
+    const auto r = dis::run_pointer(cfg, pp);
+    rep.config(cfg);
+    rep.config("metrics_run", bench::Json::str("Pointer GM 8-2, cached"));
+    rep.metrics(r.report);
+  }
+  return rep.finish();
 }

@@ -9,6 +9,7 @@
 // the production 100-entry cache.
 #include <cstdio>
 
+#include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "dis/field.h"
 #include "dis/neighborhood.h"
@@ -29,7 +30,8 @@ core::RuntimeConfig config(std::uint32_t nodes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("scale_probe", argc, argv);
   std::printf(
       "Scalability probe beyond the paper's 2048-512 maximum (Sec. 6\n"
       "future work), hybrid GM, 4 threads/node, 100-entry cache\n\n");
@@ -49,6 +51,13 @@ int main() {
     const auto f = dis::field_improvement(config(nodes), fp);
     auto hit_cfg = config(nodes);
     const auto hit = dis::run_pointer(std::move(hit_cfg), pp);
+    if (nodes == 512u) {
+      // Metrics: the paper-scale (512-node) cached Pointer run.
+      rep.config(config(nodes));
+      rep.config("metrics_run",
+                 bench::Json::str("Pointer GM 2048-512, cached"));
+      rep.metrics(hit.report);
+    }
     table.row({std::to_string(nodes * 4) + "-" + std::to_string(nodes),
                fmt(p.improvement_pct, 1), fmt(n.improvement_pct, 1),
                fmt(f.improvement_pct, 1), fmt(hit.cache.hit_rate(), 3)});
@@ -60,5 +69,6 @@ int main() {
       "working set is independent of machine size. Pointer's benefit is\n"
       "bounded by its hit rate ~ cache_entries/nodes, so unpredictable\n"
       "patterns need the cache limit to scale with the machine.\n");
-  return 0;
+  rep.results(table);
+  return rep.finish();
 }

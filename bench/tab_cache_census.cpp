@@ -6,6 +6,7 @@
 // enough for well defined UPC applications."
 #include <cstdio>
 
+#include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "dis/field.h"
 #include "dis/neighborhood.h"
@@ -27,7 +28,8 @@ core::RuntimeConfig config(std::uint32_t nodes, std::uint32_t tpn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("tab_cache_census", argc, argv);
   std::printf(
       "Cache & pinned-table census on the DIS subset, 32 nodes x 4 threads\n"
       "(Sec. 4.5)\n\n");
@@ -57,6 +59,10 @@ int main() {
     const auto r = dis::run_neighborhood(config(32, 4), p);
     table.row({"Neighborhood", std::to_string(r.cache_entries),
                fmt(r.cache.hit_rate(), 3), "well-defined (constant)"});
+    // Metrics: the well-defined-pattern exemplar (Sec. 4.5's argument).
+    rep.config(config(32, 4));
+    rep.config("metrics_run", bench::Json::str("Neighborhood 32x4, cold"));
+    rep.metrics(r.report);
   }
   {
     dis::FieldParams p;
@@ -71,5 +77,6 @@ int main() {
       "\npaper reference: Field/Neighborhood need only a few entries with\n"
       "flat hit rates; Pointer/Update grow with the node count. One shared\n"
       "array per stressmark => a 10-entry pinned table suffices.\n");
-  return 0;
+  rep.results(table);
+  return rep.finish();
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
 #include "core/trace.h"
@@ -28,7 +29,8 @@ struct PathStats {
 };
 
 // Run Field with tracing and aggregate the remote-GET access times.
-PathStats traced_field(net::TransportKind kind, bool cache) {
+PathStats traced_field(net::TransportKind kind, bool cache,
+                       core::RunReport* report = nullptr) {
   core::RuntimeConfig cfg;
   cfg.platform = net::preset(kind);
   cfg.nodes = 8;
@@ -87,6 +89,7 @@ PathStats traced_field(net::TransportKind kind, bool cache) {
   });
 
   PathStats out;
+  if (report != nullptr) *report = rt.metrics();
   const auto summary = rt.tracer().summarize();
   if (const auto* am =
           summary.find(core::TraceOp::kGet, core::TracePath::kAm)) {
@@ -105,16 +108,23 @@ PathStats traced_field(net::TransportKind kind, bool cache) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("tab_field_trace", argc, argv);
   std::printf(
       "Field Stressmark overhang-access trace analysis (paper Sec. 4.6)\n"
       "8 nodes x 4 threads; per-path remote GET times from the tracer\n\n");
   bench::Table table({"platform", "cache", "path", "count", "mean us",
                       "max us"});
+  core::RunReport representative;
   for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
     const char* name =
         kind == net::TransportKind::kGm ? "GM" : "LAPI";
-    const auto off = traced_field(kind, false);
+    // Metrics: the GM cache-off run — the one the paper's Paraver trace
+    // diagnosed (its JSON report carries the per-path trace lines).
+    const auto off =
+        traced_field(kind, false,
+                     kind == net::TransportKind::kGm ? &representative
+                                                     : nullptr);
     table.row({name, "off", "am", std::to_string(off.am_count),
                fmt(off.am_mean, 2), fmt(off.am_max, 2)});
     const auto on = traced_field(kind, true);
@@ -128,5 +138,9 @@ int main() {
       "cache RDMA needs no remote-CPU cooperation and wait times collapse.\n"
       "On LAPI the communication processor keeps even un-cached accesses\n"
       "fast, so the cache changes little — matching Fig. 9's Field rows.\n");
-  return 0;
+  rep.config("metrics_run",
+             bench::Json::str("Field GM 8x4, cache off, traced"));
+  rep.metrics(representative);
+  rep.results(table);
+  return rep.finish();
 }

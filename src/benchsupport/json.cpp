@@ -1,0 +1,144 @@
+#include "benchsupport/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace xlupc::bench {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Json Json::str(std::string v) {
+  Json j(Kind::kString);
+  j.scalar_ = std::move(v);
+  return j;
+}
+
+Json Json::boolean(bool v) {
+  Json j(Kind::kBool);
+  j.scalar_ = v ? "true" : "false";
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j(Kind::kNumber);
+  if (!std::isfinite(v)) {
+    j.scalar_ = "null";  // JSON has no inf/nan
+    return j;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  j.scalar_ = buf;
+  return j;
+}
+
+Json Json::number(std::uint64_t v) {
+  Json j(Kind::kNumber);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  j.scalar_ = buf;
+  return j;
+}
+
+Json Json::number(std::int64_t v) {
+  Json j(Kind::kNumber);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  j.scalar_ = buf;
+  return j;
+}
+
+Json& Json::set(std::string key, Json value) {
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::dump_at(std::ostream& os, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kString:
+      os << '"' << json_escape(scalar_) << '"';
+      break;
+    case Kind::kNumber:
+    case Kind::kBool:
+      os << scalar_;
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{' << nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        os << pad << '"' << json_escape(members_[i].first) << '"' << colon;
+        members_[i].second.dump_at(os, indent, depth + 1);
+        if (i + 1 < members_.size()) os << ',';
+        os << nl;
+      }
+      os << close_pad << '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[' << nl;
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        os << pad;
+        elements_[i].dump_at(os, indent, depth + 1);
+        if (i + 1 < elements_.size()) os << ',';
+        os << nl;
+      }
+      os << close_pad << ']';
+      break;
+    }
+  }
+}
+
+void Json::dump(std::ostream& os, int indent) const {
+  dump_at(os, indent, 0);
+}
+
+std::string Json::dump_string(int indent) const {
+  std::ostringstream oss;
+  dump(oss, indent);
+  return oss.str();
+}
+
+}  // namespace xlupc::bench

@@ -1,0 +1,68 @@
+// Minimal ordered JSON document builder (no external dependencies).
+//
+// Built for the bench harness's --json run reports: keys keep insertion
+// order, numbers are formatted canonically (integers exactly, doubles via
+// "%.6g"), and serialization is a pure function of the document — so two
+// identical deterministic runs emit byte-identical files, which is what
+// the BENCH_*.json perf trajectory diffs rely on.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xlupc::bench {
+
+class Json {
+ public:
+  /// A null document (also the default-constructed state).
+  Json() = default;
+
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+  static Json str(std::string v);
+  static Json boolean(bool v);
+  static Json number(double v);          ///< formatted with %.6g
+  static Json number(std::uint64_t v);   ///< formatted exactly
+  static Json number(std::int64_t v);    ///< formatted exactly
+  static Json number(int v) { return number(static_cast<std::int64_t>(v)); }
+
+  /// Object member insertion (keeps insertion order; duplicate keys are
+  /// appended as-is — callers own key uniqueness).
+  Json& set(std::string key, Json value);
+
+  /// Array element append.
+  Json& push(Json value);
+
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  std::size_t size() const noexcept {
+    return kind_ == Kind::kObject ? members_.size() : elements_.size();
+  }
+
+  /// Serialize with `indent` spaces per level (0 = compact single line).
+  /// Output ends without a trailing newline.
+  void dump(std::ostream& os, int indent = 2) const;
+  std::string dump_string(int indent = 2) const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    kNull, kObject, kArray, kString, kNumber, kBool,
+  };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+  void dump_at(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  std::string scalar_;  ///< string value, or preformatted number/bool
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+}  // namespace xlupc::bench

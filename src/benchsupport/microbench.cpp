@@ -43,7 +43,8 @@ MicroResult measure_op(core::RuntimeConfig cfg, Op op, MicroParams mp) {
     co_await th.barrier();
   });
 
-  return MicroResult{stat.mean(), stat.ci95_half(), rt.counters()};
+  return MicroResult{stat.mean(), stat.ci95_half(), rt.counters(),
+                     rt.metrics()};
 }
 
 ImprovementResult measure_improvement(const net::PlatformParams& platform,

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "core/api.h"
+#include "core/run_report.h"
 #include "sim/stats.h"
 
 namespace xlupc::bench {
@@ -23,6 +24,9 @@ struct MicroResult {
   double mean_us = 0.0;
   double ci95_us = 0.0;  ///< 95% CI half-width
   xlupc::core::OpCounters counters;
+  /// Full observability snapshot of the measuring Runtime (counters by
+  /// path, cache statistics, resource utilization) for --json reports.
+  xlupc::core::RunReport report;
 };
 
 /// Latency/overhead of one operation under `cfg` (the cache setting comes

@@ -1,0 +1,163 @@
+#include "benchsupport/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "mem/pinned_table.h"
+#include "net/params.h"
+
+namespace xlupc::bench {
+
+Json to_json(const core::RunReport& report) {
+  Json j = Json::object();
+  j.set("platform", Json::str(report.platform));
+  j.set("elapsed_us", Json::number(report.elapsed_us));
+  j.set("events", Json::number(report.events));
+
+  Json counters = Json::object();
+  for (const auto& [name, value] : report.counters) {
+    counters.set(name, Json::number(value));
+  }
+  j.set("counters", std::move(counters));
+
+  Json gauges = Json::object();
+  for (const auto& [name, value] : report.gauges) {
+    gauges.set(name, Json::number(value));
+  }
+  j.set("gauges", std::move(gauges));
+
+  Json resources = Json::array();
+  for (const core::ResourceUsage& u : report.resources) {
+    Json r = Json::object();
+    r.set("name", Json::str(u.name));
+    r.set("capacity", Json::number(u.capacity));
+    r.set("acquisitions", Json::number(u.acquisitions));
+    r.set("busy_us", Json::number(u.busy_us));
+    r.set("queue_wait_us", Json::number(u.queue_wait_us));
+    r.set("utilization_pct", Json::number(u.utilization_pct));
+    resources.push(std::move(r));
+  }
+  j.set("resources", std::move(resources));
+
+  if (!report.trace.empty()) {
+    Json trace = Json::array();
+    for (const core::TraceReportLine& line : report.trace) {
+      Json t = Json::object();
+      t.set("op", Json::str(line.op));
+      t.set("path", Json::str(line.path));
+      t.set("count", Json::number(line.count));
+      t.set("total_us", Json::number(line.total_us));
+      t.set("mean_us", Json::number(line.mean_us));
+      t.set("max_us", Json::number(line.max_us));
+      trace.push(std::move(t));
+    }
+    j.set("trace", std::move(trace));
+  }
+  return j;
+}
+
+Json to_json(const core::RuntimeConfig& cfg) {
+  Json j = Json::object();
+  j.set("platform", Json::str(cfg.platform.name));
+  j.set("nodes", Json::number(static_cast<std::uint64_t>(cfg.nodes)));
+  j.set("threads_per_node",
+        Json::number(static_cast<std::uint64_t>(cfg.threads_per_node)));
+
+  Json cache = Json::object();
+  cache.set("enabled", Json::boolean(cfg.cache.enabled));
+  cache.set("max_entries",
+            Json::number(static_cast<std::uint64_t>(cfg.cache.max_entries)));
+  cache.set("put_enabled", cfg.cache.put_enabled.has_value()
+                               ? Json::boolean(*cfg.cache.put_enabled)
+                               : Json());
+  cache.set("full_table", Json::boolean(cfg.cache.full_table));
+  j.set("cache", std::move(cache));
+
+  j.set("pin_strategy",
+        Json::str(cfg.pin_strategy == mem::PinStrategy::kGreedy ? "greedy"
+                                                                : "chunked"));
+  j.set("seed", Json::number(cfg.seed));
+  j.set("trace", Json::boolean(cfg.trace));
+  return j;
+}
+
+BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--json requires an output file path");
+      }
+      args.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = std::string(arg.substr(7));
+      if (args.json_path.empty()) {
+        throw std::invalid_argument("--json requires an output file path");
+      }
+    }
+  }
+  return args;
+}
+
+Reporter::Reporter(std::string benchmark, int argc, char** argv)
+    : benchmark_(std::move(benchmark)) {
+  try {
+    args_ = parse_bench_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+void Reporter::config(const std::string& key, Json value) {
+  config_.set(key, std::move(value));
+}
+
+void Reporter::config(const core::RuntimeConfig& cfg) {
+  config_.set("runtime", to_json(cfg));
+}
+
+void Reporter::metrics(const core::RunReport& report) {
+  metrics_ = to_json(report);
+}
+
+void Reporter::results(const Table& table, const std::string& series) {
+  for (const auto& row : table.rows()) {
+    Json obj = Json::object();
+    if (!series.empty()) obj.set("series", Json::str(series));
+    for (std::size_t i = 0; i < row.size() && i < table.headers().size();
+         ++i) {
+      obj.set(table.headers()[i], Json::str(row[i]));
+    }
+    results_.push(std::move(obj));
+  }
+}
+
+int Reporter::finish() {
+  if (!args_.json()) return 0;
+  Json doc = Json::object();
+  doc.set("benchmark", Json::str(benchmark_));
+  doc.set("config", std::move(config_));
+  doc.set("metrics", std::move(metrics_));
+  doc.set("results", std::move(results_));
+  std::ofstream out(args_.json_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 args_.json_path.c_str());
+    return 2;
+  }
+  doc.dump(out);
+  out << '\n';
+  if (!out) {
+    std::fprintf(stderr, "error: failed writing %s\n",
+                 args_.json_path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace xlupc::bench

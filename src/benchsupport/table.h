@@ -23,6 +23,13 @@ class Table {
   /// Machine-readable CSV rendering.
   void print_csv(std::ostream& os) const;
 
+  const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,188 @@
+// Runtime::metrics() / reset_metrics(): folding every layer's statistics
+// into the Simulator's MetricsRegistry and snapshotting the RunReport.
+#include "core/run_report.h"
+
+#include <string>
+
+#include "core/runtime.h"
+
+namespace xlupc::core {
+
+std::uint64_t RunReport::counter(std::string_view name) const {
+  for (const auto& [k, v] : counters) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+double RunReport::gauge(std::string_view name) const {
+  for (const auto& [k, v] : gauges) {
+    if (k == name) return v;
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Mean utilization (percent) of the resources selected by `pick`.
+template <class Pick>
+double mean_utilization_pct(const net::Machine& machine, Pick pick) {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  machine.for_each_resource([&](const sim::Resource& r) {
+    if (!pick(r.name())) return;
+    sum += r.utilization();
+    ++n;
+  });
+  return n == 0 ? 0.0 : 100.0 * sum / static_cast<double>(n);
+}
+
+bool name_has(const std::string& name, std::string_view part) {
+  return name.find(part) != std::string::npos;
+}
+
+}  // namespace
+
+RunReport Runtime::metrics() {
+  sim::MetricsRegistry& reg = sim_.metrics();
+
+  // --- runtime layer: how every access was served (OpCounters) ---
+  reg.set("runtime.gets.local", counters_.local_gets);
+  reg.set("runtime.gets.shm", counters_.shm_gets);
+  reg.set("runtime.gets.am", counters_.am_gets);
+  reg.set("runtime.gets.rdma", counters_.rdma_gets);
+  reg.set("runtime.puts.local", counters_.local_puts);
+  reg.set("runtime.puts.shm", counters_.shm_puts);
+  reg.set("runtime.puts.am", counters_.am_puts);
+  reg.set("runtime.puts.rdma", counters_.rdma_puts);
+  reg.set("runtime.rdma_naks", counters_.rdma_naks);
+
+  // --- address cache, pinned tables (summed over nodes) ---
+  AddressCacheStats cs;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t pin_calls = 0, registrations = 0, deregistrations = 0;
+  std::uint64_t pinned_bytes = 0, pin_handles = 0;
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    const AddressCacheStats& s = node(n).cache->stats();
+    cs.hits += s.hits;
+    cs.misses += s.misses;
+    cs.insertions += s.insertions;
+    cs.evictions += s.evictions;
+    cs.invalidations += s.invalidations;
+    cache_entries += node(n).cache->size();
+    const mem::PinnedAddressTable& pt = *node(n).pinned;
+    pin_calls += pt.total_pin_calls();
+    registrations += pt.total_registrations();
+    deregistrations += pt.total_deregistrations();
+    pinned_bytes += pt.pinned_bytes();
+    pin_handles += pt.handle_count();
+  }
+  reg.set("cache.hits", cs.hits);
+  reg.set("cache.misses", cs.misses);
+  reg.set("cache.insertions", cs.insertions);
+  reg.set("cache.evictions", cs.evictions);
+  reg.set("cache.invalidations", cs.invalidations);
+  reg.set("cache.entries", cache_entries);
+  reg.set_gauge("cache.hit_rate", cs.hit_rate());
+  reg.set("pin.calls", pin_calls);
+  reg.set("pin.registrations", registrations);
+  reg.set("pin.deregistrations", deregistrations);
+  reg.set("pin.pinned_bytes", pinned_bytes);
+  reg.set("pin.handles", pin_handles);
+
+  // --- transport layer: messages by protocol, registration caches ---
+  const net::TransportStats& ts = transport_->stats();
+  reg.set("transport.gets.eager", ts.am_gets);
+  reg.set("transport.gets.rendezvous", ts.rendezvous_gets);
+  reg.set("transport.puts.eager", ts.am_puts);
+  reg.set("transport.puts.rendezvous", ts.rendezvous_puts);
+  reg.set("transport.rdma.gets", ts.rdma_gets);
+  reg.set("transport.rdma.puts", ts.rdma_puts);
+  reg.set("transport.rdma.naks", ts.rdma_naks);
+  reg.set("transport.control_msgs", ts.control_msgs);
+  reg.set("transport.wire_bytes", ts.wire_bytes);
+  std::uint64_t rc_hits = 0, rc_misses = 0, rc_evictions = 0;
+  std::uint64_t rc_resident = 0;
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    const mem::RegistrationCache& rc = transport_->reg_cache(n);
+    rc_hits += rc.hits();
+    rc_misses += rc.misses();
+    rc_evictions += rc.evictions();
+    rc_resident += rc.resident_bytes();
+  }
+  reg.set("regcache.hits", rc_hits);
+  reg.set("regcache.misses", rc_misses);
+  reg.set("regcache.evictions", rc_evictions);
+  reg.set("regcache.resident_bytes", rc_resident);
+
+  // --- simulation engine ---
+  reg.set("sim.events", sim_.events_executed() - events_epoch_);
+
+  // --- resource utilization (per resource + aggregate gauges) ---
+  RunReport report;
+  machine_.for_each_resource([&](const sim::Resource& r) {
+    ResourceUsage u;
+    u.name = r.name();
+    u.capacity = r.capacity();
+    u.acquisitions = r.acquisitions();
+    u.busy_us = sim::to_us(r.busy_time());
+    u.queue_wait_us = sim::to_us(r.queue_wait_time());
+    u.utilization_pct = 100.0 * r.utilization();
+    report.resources.push_back(std::move(u));
+  });
+  reg.set_gauge("util.cpu_pct", mean_utilization_pct(machine_, [](auto& n) {
+                  return name_has(n, ".core");
+                }));
+  reg.set_gauge("util.comm_cpu_pct",
+                mean_utilization_pct(machine_, [](auto& n) {
+                  return name_has(n, ".comm");
+                }));
+  reg.set_gauge("util.nic_tx_pct", mean_utilization_pct(machine_, [](auto& n) {
+                  return name_has(n, ".nic_tx");
+                }));
+  reg.set_gauge("util.nic_dma_pct", mean_utilization_pct(machine_, [](auto& n) {
+                  return name_has(n, ".nic_dma");
+                }));
+  reg.set_gauge("util.nic_pct", mean_utilization_pct(machine_, [](auto& n) {
+                  return name_has(n, ".nic_");
+                }));
+
+  // --- snapshot ---
+  report.platform = cfg_.platform.name;
+  report.elapsed_us = sim::to_us(sim_.now() - metrics_epoch_);
+  report.events = reg.counter("sim.events");
+  report.counters.assign(reg.counters().begin(), reg.counters().end());
+  report.gauges.assign(reg.gauges().begin(), reg.gauges().end());
+
+  // --- Tracer bridge: per-(op, path) service-time aggregates ---
+  if (tracer_.enabled()) {
+    const TraceSummary summary = tracer_.summarize();
+    for (const auto& [key, line] : summary.lines) {
+      TraceReportLine out;
+      out.op = to_string(key.first);
+      out.path = to_string(key.second);
+      out.count = line.count;
+      out.total_us = line.total_us;
+      out.mean_us = line.mean_us;
+      out.max_us = line.max_us;
+      report.trace.push_back(std::move(out));
+    }
+  }
+  return report;
+}
+
+void Runtime::reset_metrics() {
+  counters_ = OpCounters{};
+  transport_->reset_stats();
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    node(n).cache->reset_stats();
+    node(n).pinned->reset_counters();
+  }
+  machine_.reset_resource_usage();
+  sim_.metrics().reset();
+  tracer_.clear();
+  metrics_epoch_ = sim_.now();
+  events_epoch_ = sim_.events_executed();
+}
+
+}  // namespace xlupc::core

@@ -1,0 +1,61 @@
+// Machine-readable snapshot of one run's observable behaviour.
+//
+// Runtime::metrics() folds every layer's statistics into the Simulator's
+// MetricsRegistry under stable dotted names (the taxonomy is documented
+// in docs/OBSERVABILITY.md) and returns them here together with
+// per-resource utilization and, when tracing is on, the per-(op, path)
+// trace summary — the report form of Tracer::print_summary.
+//
+// The report is a plain value: snapshot it mid-run, diff two snapshots,
+// or hand it to bench::to_json for the benches' --json mode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xlupc::core {
+
+/// Usage of one simulated hardware resource over the metrics window.
+struct ResourceUsage {
+  std::string name;              ///< e.g. "n0.core1", "n2.nic_dma"
+  std::uint64_t capacity = 0;    ///< concurrent units (cores: 1)
+  std::uint64_t acquisitions = 0;
+  double busy_us = 0.0;          ///< integral of units-in-use over time
+  double queue_wait_us = 0.0;    ///< total time processes waited in FIFO
+  double utilization_pct = 0.0;  ///< 100 * busy / (capacity * window)
+};
+
+/// One aggregated trace line: all events of one (operation, path) pair.
+struct TraceReportLine {
+  std::string op;    ///< "get" | "put" | "barrier" | "lock"
+  std::string path;  ///< "local" | "shm" | "am" | "rdma" | "-"
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct RunReport {
+  std::string platform;          ///< PlatformParams::name
+  double elapsed_us = 0.0;       ///< metrics window (reset .. snapshot)
+  std::uint64_t events = 0;      ///< simulator events in the window
+
+  /// Counters and gauges in registry (lexicographic) order.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+
+  /// Every CPU core, communication processor and NIC engine, node-major.
+  std::vector<ResourceUsage> resources;
+
+  /// Present only when RuntimeConfig::trace was set.
+  std::vector<TraceReportLine> trace;
+
+  /// Lookup helpers; 0 when the name is absent.
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+};
+
+}  // namespace xlupc::core

@@ -24,6 +24,7 @@
 #include "common/types.h"
 #include "core/address_cache.h"
 #include "core/api.h"
+#include "core/run_report.h"
 #include "core/trace.h"
 #include "mem/address_space.h"
 #include "mem/pinned_table.h"
@@ -187,6 +188,18 @@ class Runtime final : public net::AmTarget {
   Tracer& tracer() noexcept { return tracer_; }
   const Tracer& tracer() const noexcept { return tracer_; }
 
+  /// Snapshot every layer's statistics as a RunReport: the MetricsRegistry
+  /// counters/gauges (docs/OBSERVABILITY.md taxonomy), per-resource
+  /// utilization, and the trace summary when tracing is on. Also folds
+  /// the current totals into `simulator().metrics()`.
+  RunReport metrics();
+
+  /// Start a fresh metrics window: zero every counter, cache statistic,
+  /// resource usage and the registry, and clear recorded trace events.
+  /// Simulated time, caches and pinned memory themselves are untouched,
+  /// so steady-state windows can be measured after warm-up.
+  void reset_metrics();
+
   /// Zero-time direct access to array storage, for tests and validation.
   void debug_read(const ArrayDesc& a, std::uint64_t elem,
                   std::span<std::byte> out);
@@ -280,6 +293,8 @@ class Runtime final : public net::AmTarget {
   std::unique_ptr<sim::CyclicBarrier> collective_barrier_;
   OpCounters counters_;
   Tracer tracer_;
+  sim::Time metrics_epoch_ = 0;
+  std::uint64_t events_epoch_ = 0;
 };
 
 // --- templated helpers -------------------------------------------------

@@ -105,6 +105,7 @@ StressResult run_field(core::RuntimeConfig cfg, const FieldParams& fp) {
   res.cache_entries = rt.cache(fp.observe_node).size();
   res.counters = rt.counters();
   res.transport = rt.transport().stats();
+  res.report = rt.metrics();
   return res;
 }
 

@@ -76,6 +76,7 @@ StressResult run_neighborhood(core::RuntimeConfig cfg,
   res.cache_entries = rt.cache(np.observe_node).size();
   res.counters = rt.counters();
   res.transport = rt.transport().stats();
+  res.report = rt.metrics();
   return res;
 }
 

@@ -56,6 +56,7 @@ StressResult run_pointer(core::RuntimeConfig cfg, const PointerParams& pp) {
   res.cache_entries = rt.cache(pp.observe_node).size();
   res.counters = rt.counters();
   res.transport = rt.transport().stats();
+  res.report = rt.metrics();
   return res;
 }
 

@@ -12,6 +12,7 @@
 
 #include "core/address_cache.h"
 #include "core/api.h"
+#include "core/run_report.h"
 #include "net/transport.h"
 
 namespace xlupc::dis {
@@ -25,6 +26,8 @@ struct StressResult {
   core::OpCounters counters;
   net::TransportStats transport;
   std::size_t cache_entries = 0;  ///< live entries at the end of the run
+  /// Full observability snapshot (docs/OBSERVABILITY.md) for --json runs.
+  core::RunReport report;
 };
 
 /// Improvement of enabling the address cache, as plotted in Fig. 9:

@@ -68,6 +68,7 @@ StressResult run_update(core::RuntimeConfig cfg, const UpdateParams& up) {
   res.cache_entries = rt.cache(up.observe_node).size();
   res.counters = rt.counters();
   res.transport = rt.transport().stats();
+  res.report = rt.metrics();
   return res;
 }
 

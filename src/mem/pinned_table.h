@@ -88,6 +88,11 @@ class PinnedAddressTable {
     return deregistrations_;
   }
 
+  /// Zero the lifetime counters; pinned regions themselves are kept.
+  void reset_counters() {
+    pin_calls_ = registrations_ = deregistrations_ = 0;
+  }
+
  private:
   struct Region {
     std::size_t len;

@@ -43,6 +43,9 @@ class RegistrationCache {
   std::uint64_t misses() const noexcept { return misses_; }
   std::uint64_t evictions() const noexcept { return evictions_; }
 
+  /// Zero the hit/miss/eviction counters; resident regions are kept.
+  void reset_counters() { hits_ = misses_ = evictions_ = 0; }
+
  private:
   struct Region {
     std::size_t len;

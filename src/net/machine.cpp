@@ -12,20 +12,42 @@ Machine::Machine(sim::Simulator& sim, PlatformParams params,
   }
   nodes_.reserve(config_.nodes);
   for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+    const std::string prefix = "n" + std::to_string(n) + ".";
     Node node;
     node.cores.reserve(config_.cores_per_node);
     for (std::uint32_t c = 0; c < config_.cores_per_node; ++c) {
-      node.cores.push_back(std::make_unique<sim::Resource>(sim, 1));
+      node.cores.push_back(std::make_unique<sim::Resource>(
+          sim, 1, prefix + "core" + std::to_string(c)));
     }
     // Communication processors: LAPI-style transports dispatch header
     // handlers on a small pool of service (SMT) threads per node.
     node.comm = std::make_unique<sim::Resource>(
-        sim, std::max<std::uint32_t>(2, config_.cores_per_node / 4));
-    node.tx = std::make_unique<sim::Resource>(sim, 1);
+        sim, std::max<std::uint32_t>(2, config_.cores_per_node / 4),
+        prefix + "comm");
+    node.tx = std::make_unique<sim::Resource>(sim, 1, prefix + "nic_tx");
     // NICs carry independent send/receive DMA engines; one-sided traffic
     // in both directions can overlap.
-    node.dma = std::make_unique<sim::Resource>(sim, 2);
+    node.dma = std::make_unique<sim::Resource>(sim, 2, prefix + "nic_dma");
     nodes_.push_back(std::move(node));
+  }
+}
+
+void Machine::for_each_resource(
+    const std::function<void(const sim::Resource&)>& fn) const {
+  for (const Node& node : nodes_) {
+    for (const auto& core : node.cores) fn(*core);
+    fn(*node.comm);
+    fn(*node.tx);
+    fn(*node.dma);
+  }
+}
+
+void Machine::reset_resource_usage() {
+  for (Node& node : nodes_) {
+    for (auto& core : node.cores) core->reset_usage();
+    node.comm->reset_usage();
+    node.tx->reset_usage();
+    node.dma->reset_usage();
   }
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -43,6 +44,15 @@ class Machine {
   sim::Resource& nic_tx(NodeId node);
   /// NIC RDMA/DMA engine (one-sided transfers).
   sim::Resource& nic_dma(NodeId node);
+
+  /// Visit every hardware resource in a stable order (node-major:
+  /// cores, comm CPU, NIC tx, NIC dma). Resources carry their own names
+  /// ("n3.core1", "n3.nic_tx", ...); used to build run reports.
+  void for_each_resource(
+      const std::function<void(const sim::Resource&)>& fn) const;
+
+  /// Zero the usage statistics of every resource (new metrics window).
+  void reset_resource_usage();
 
   /// One-way wire latency between nodes.
   sim::Duration latency(NodeId a, NodeId b) const {

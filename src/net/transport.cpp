@@ -15,6 +15,11 @@ Transport::Transport(Machine& machine, AmTarget& target)
   }
 }
 
+void Transport::reset_stats() {
+  stats_ = TransportStats{};
+  for (auto& rc : reg_caches_) rc.reset_counters();
+}
+
 Task<void> Transport::charge_reg_cache(sim::Resource& cpu, NodeId node,
                                        Addr addr, std::size_t len) {
   const auto& p = machine_.params();

@@ -145,6 +145,10 @@ class Transport {
                                           std::size_t len);
 
   const TransportStats& stats() const noexcept { return stats_; }
+  /// Zero the message/byte counters and every node's registration-cache
+  /// counters (resident registrations are kept — only the statistics
+  /// window restarts).
+  void reset_stats();
   const mem::RegistrationCache& reg_cache(NodeId node) const {
     return reg_caches_.at(node);
   }

@@ -1,0 +1,74 @@
+// Named counters and gauges — the registry every layer folds its
+// statistics into so a run can be reported as one flat, machine-readable
+// document (docs/OBSERVABILITY.md).
+//
+// Hot paths keep their cheap struct counters (OpCounters, TransportStats,
+// AddressCacheStats, ...); Runtime::metrics() folds them into the
+// Simulator's registry under stable dotted names at report time, so the
+// registry never sits on a per-operation fast path. User code may add its
+// own counters at any time; they appear in the same report.
+//
+// Iteration order is the lexicographic name order (std::map), which is
+// what makes serialized reports byte-stable across identical runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace xlupc::sim {
+
+class MetricsRegistry {
+ public:
+  /// Increment counter `name` by `delta` (creating it at zero first).
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  /// Set counter `name` to an absolute value (used when folding in the
+  /// layer-local structs, which already hold totals).
+  void set(const std::string& name, std::uint64_t value) {
+    counters_[name] = value;
+  }
+
+  /// Set gauge `name` (a point-in-time or derived quantity: utilization
+  /// percentages, hit rates, resident bytes).
+  void set_gauge(const std::string& name, double value) {
+    gauges_[name] = value;
+  }
+
+  /// Counter value; 0 when the counter was never touched.
+  std::uint64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Gauge value; 0.0 when the gauge was never set.
+  double gauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const noexcept {
+    return gauges_;
+  }
+
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size();
+  }
+
+  /// Drop every counter and gauge (Runtime::reset_metrics).
+  void reset() {
+    counters_.clear();
+    gauges_.clear();
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace xlupc::sim

@@ -22,9 +22,10 @@ void Resource::release() {
     // Hand the unit directly to the first waiter: in_use_ stays constant
     // (the unit remains reserved for the waiter until it resumes).
     ++pending_handoffs_;
-    auto h = queue_.front();
+    Waiter w = queue_.front();
     queue_.pop_front();
-    sim_->post_resume(h);
+    queue_wait_accum_ += sim_->now() - w.enqueued;
+    sim_->post_resume(w.handle);
   } else {
     account();
     --in_use_;
@@ -40,6 +41,21 @@ Task<> Resource::use(Duration d) {
 Duration Resource::busy_time() const {
   account();
   return busy_accum_;
+}
+
+double Resource::utilization() const {
+  const Duration window = sim_->now() - usage_epoch_;
+  if (window == 0 || capacity_ == 0) return 0.0;
+  return static_cast<double>(busy_time()) /
+         (static_cast<double>(capacity_) * static_cast<double>(window));
+}
+
+void Resource::reset_usage() {
+  account();  // bring last_change_ up to now before dropping the integral
+  busy_accum_ = 0;
+  queue_wait_accum_ = 0;
+  acquisitions_ = 0;
+  usage_epoch_ = sim_->now();
 }
 
 }  // namespace xlupc::sim

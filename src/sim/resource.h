@@ -3,13 +3,15 @@
 // A Resource has an integer capacity; processes acquire one unit, hold it
 // for some simulated time, then release. Waiters queue in FIFO order,
 // which models the in-order service of NIC send queues and the run queue
-// behaviour the paper's Field analysis depends on. Busy time is tracked so
-// experiments can report utilization.
+// behaviour the paper's Field analysis depends on. Busy time, queue-wait
+// time and acquisition counts are tracked so experiments can report
+// utilization and contention (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <string>
 
 #include "sim/simulator.h"
 #include "sim/task.h"
@@ -18,8 +20,8 @@ namespace xlupc::sim {
 
 class Resource {
  public:
-  Resource(Simulator& sim, std::uint64_t capacity)
-      : sim_(&sim), capacity_(capacity) {}
+  Resource(Simulator& sim, std::uint64_t capacity, std::string name = {})
+      : sim_(&sim), capacity_(capacity), name_(std::move(name)) {}
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
@@ -34,9 +36,10 @@ class Resource {
                r->pending_handoffs_ == 0;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        r->queue_.push_back(h);
+        r->queue_.push_back(Waiter{h, r->sim_->now()});
       }
       void await_resume() const {
+        ++r->acquisitions_;
         if (r->pending_handoffs_ > 0) {
           --r->pending_handoffs_;  // unit was reserved in release()
         } else {
@@ -53,24 +56,52 @@ class Resource {
   /// Convenience: acquire, hold for `d`, release.
   Task<> use(Duration d);
 
+  const std::string& name() const noexcept { return name_; }
   std::uint64_t capacity() const noexcept { return capacity_; }
   std::uint64_t in_use() const noexcept { return in_use_; }
   std::uint64_t queue_length() const noexcept { return queue_.size(); }
 
-  /// Accumulated unit-busy nanoseconds (integral of in_use over time).
+  /// Accumulated unit-busy nanoseconds (integral of in_use over time)
+  /// since construction or the last reset_usage().
   Duration busy_time() const;
 
+  /// Total time waiters spent queued before being granted a unit, since
+  /// construction or the last reset_usage(). Processes still queued at
+  /// observation time are not counted.
+  Duration queue_wait_time() const noexcept { return queue_wait_accum_; }
+
+  /// Successful acquisitions since construction or the last reset_usage().
+  std::uint64_t acquisitions() const noexcept { return acquisitions_; }
+
+  /// Fraction [0, 1] of the total capacity kept busy over the usage
+  /// window (reset_usage() .. now). 0 when the window is empty.
+  double utilization() const;
+
+  /// Zero the usage statistics (busy time, queue wait, acquisitions) and
+  /// start a fresh observation window at the current simulated time.
+  /// In-flight holds contribute to the new window from now on.
+  void reset_usage();
+
  private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    Time enqueued;
+  };
+
   void grant_one();
   void account() const;
 
   Simulator* sim_;
   std::uint64_t capacity_;
+  std::string name_;
   std::uint64_t in_use_ = 0;
-  std::deque<std::coroutine_handle<>> queue_;
+  std::deque<Waiter> queue_;
   mutable std::uint64_t pending_handoffs_ = 0;
   mutable Time last_change_ = 0;
   mutable Duration busy_accum_ = 0;
+  Duration queue_wait_accum_ = 0;
+  std::uint64_t acquisitions_ = 0;
+  Time usage_epoch_ = 0;
 };
 
 /// Acquire `r`, hold it for `d`, release — the common usage pattern.

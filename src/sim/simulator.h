@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "sim/event_queue.h"
+#include "sim/metrics.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
@@ -74,6 +75,11 @@ class Simulator {
   /// Total events executed (determinism / perf diagnostics).
   std::uint64_t events_executed() const noexcept { return queue_.executed(); }
 
+  /// Named counters/gauges of this simulation. Layers fold their local
+  /// statistics in at report time; user code may add its own.
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
  private:
   struct Detached {
     struct promise_type {
@@ -92,6 +98,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t live_ = 0;
   std::exception_ptr failure_;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace xlupc::sim

@@ -1,0 +1,303 @@
+// Tests for the observability layer: the MetricsRegistry, per-Resource
+// instrumentation, Runtime::metrics()/reset_metrics() and the JSON report
+// serialization (byte-stability against a golden file).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "benchsupport/json.h"
+#include "benchsupport/report.h"
+#include "core/runtime.h"
+#include "sim/metrics.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace xlupc {
+namespace {
+
+using core::Runtime;
+using core::RuntimeConfig;
+using core::UpcThread;
+using sim::Task;
+
+// --- MetricsRegistry ---------------------------------------------------
+
+TEST(MetricsRegistry, CountersAccumulateAndDefaultToZero) {
+  sim::MetricsRegistry reg;
+  EXPECT_EQ(reg.counter("nope"), 0u);
+  reg.add("a.x");
+  reg.add("a.x", 4);
+  reg.set("a.y", 7);
+  EXPECT_EQ(reg.counter("a.x"), 5u);
+  EXPECT_EQ(reg.counter("a.y"), 7u);
+  reg.set("a.y", 2);  // set overwrites
+  EXPECT_EQ(reg.counter("a.y"), 2u);
+}
+
+TEST(MetricsRegistry, IterationIsLexicographic) {
+  sim::MetricsRegistry reg;
+  reg.add("z.last");
+  reg.add("a.first");
+  reg.add("m.middle");
+  std::vector<std::string> names;
+  for (const auto& [name, value] : reg.counters()) names.push_back(name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"a.first", "m.middle", "z.last"}));
+}
+
+TEST(MetricsRegistry, GaugesAndReset) {
+  sim::MetricsRegistry reg;
+  reg.set_gauge("util", 42.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("util"), 42.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("absent"), 0.0);
+  reg.add("c");
+  reg.reset();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.counter("c"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("util"), 0.0);
+}
+
+// --- Resource instrumentation ------------------------------------------
+
+TEST(ResourceMetrics, CountsAcquisitionsAndBusyTime) {
+  sim::Simulator sim;
+  sim::Resource res(sim, 1, "dev");
+  sim.spawn([](sim::Simulator&, sim::Resource& r) -> Task<> {
+    co_await r.use(sim::us(10));
+    co_await r.use(sim::us(5));
+  }(sim, res));
+  sim.run();
+  EXPECT_EQ(res.name(), "dev");
+  EXPECT_EQ(res.acquisitions(), 2u);
+  EXPECT_EQ(res.busy_time(), sim::us(15));
+  EXPECT_EQ(res.queue_wait_time(), 0u);  // never contended
+  EXPECT_DOUBLE_EQ(res.utilization(), 1.0);
+}
+
+TEST(ResourceMetrics, ContendedWaitersAccumulateQueueWait) {
+  sim::Simulator sim;
+  sim::Resource res(sim, 1);
+  // Two tasks race for a unit held 10 us at a time: the second queues for
+  // the first's full hold.
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](sim::Resource& r) -> Task<> {
+      co_await r.use(sim::us(10));
+    }(res));
+  }
+  sim.run();
+  EXPECT_EQ(res.acquisitions(), 2u);
+  EXPECT_EQ(res.queue_wait_time(), sim::us(10));
+  EXPECT_EQ(res.busy_time(), sim::us(20));
+  EXPECT_DOUBLE_EQ(res.utilization(), 1.0);  // back-to-back holds
+}
+
+TEST(ResourceMetrics, ResetUsageStartsAFreshWindow) {
+  sim::Simulator sim;
+  sim::Resource res(sim, 1);
+  sim.spawn([](sim::Simulator& s, sim::Resource& r) -> Task<> {
+    co_await r.use(sim::us(10));
+    r.reset_usage();
+    co_await s.delay(sim::us(10));  // idle half of the new window
+    co_await r.use(sim::us(10));
+  }(sim, res));
+  sim.run();
+  EXPECT_EQ(res.acquisitions(), 1u);
+  EXPECT_EQ(res.busy_time(), sim::us(10));
+  EXPECT_DOUBLE_EQ(res.utilization(), 0.5);
+}
+
+// --- Runtime::metrics() ------------------------------------------------
+
+RuntimeConfig tiny_config() {
+  RuntimeConfig cfg;
+  cfg.platform = net::mare_nostrum_gm();
+  cfg.nodes = 2;
+  cfg.threads_per_node = 1;
+  return cfg;
+}
+
+// Thread 0 reads the remote half a few times: first access misses the
+// address cache (AM path), later ones hit (RDMA path).
+Task<void> tiny_body(UpcThread& th) {
+  auto a = co_await th.all_alloc(16, 8, 8);
+  co_await th.barrier();
+  if (th.id() == 0) {
+    for (int i = 0; i < 4; ++i) {
+      (void)co_await th.read<std::uint64_t>(a, 8 + (i % 4));
+    }
+  }
+  co_await th.barrier();
+}
+
+TEST(RuntimeMetrics, CountersCoverEveryLayer) {
+  Runtime rt(tiny_config());
+  rt.run(tiny_body);
+  const core::RunReport rep = rt.metrics();
+
+  EXPECT_GT(rep.elapsed_us, 0.0);
+  EXPECT_GT(rep.events, 0u);
+  // Runtime layer: 1 AM miss, 3 RDMA hits.
+  EXPECT_EQ(rep.counter("runtime.gets.am"), 1u);
+  EXPECT_EQ(rep.counter("runtime.gets.rdma"), 3u);
+  // Cache layer agrees.
+  EXPECT_EQ(rep.counter("cache.misses"), 1u);
+  EXPECT_EQ(rep.counter("cache.hits"), 3u);
+  EXPECT_GT(rep.gauge("cache.hit_rate"), 0.0);
+  // Transport layer saw the same traffic.
+  EXPECT_EQ(rep.counter("transport.gets.eager"), 1u);
+  EXPECT_EQ(rep.counter("transport.rdma.gets"), 3u);
+  EXPECT_GT(rep.counter("transport.wire_bytes"), 0u);
+  // Memory layer pinned the remote piece.
+  EXPECT_GT(rep.counter("pin.calls"), 0u);
+  EXPECT_GT(rep.counter("pin.pinned_bytes"), 0u);
+  // Resources are reported node-major with stable names.
+  ASSERT_FALSE(rep.resources.empty());
+  EXPECT_EQ(rep.resources.front().name, "n0.core0");
+  bool saw_busy_nic = false;
+  for (const auto& r : rep.resources) {
+    if (r.name.find("nic") != std::string::npos && r.busy_us > 0.0) {
+      saw_busy_nic = true;
+    }
+  }
+  EXPECT_TRUE(saw_busy_nic);
+  EXPECT_GT(rep.gauge("util.nic_pct"), 0.0);
+}
+
+TEST(RuntimeMetrics, IdenticalRunsProduceIdenticalReports) {
+  auto report_json = [] {
+    Runtime rt(tiny_config());
+    rt.run(tiny_body);
+    return bench::to_json(rt.metrics()).dump_string();
+  };
+  EXPECT_EQ(report_json(), report_json());
+}
+
+TEST(RuntimeMetrics, ResetMetricsStartsACleanWindow) {
+  Runtime rt(tiny_config());
+  rt.run(tiny_body);
+  const core::RunReport first = rt.metrics();
+  EXPECT_GT(first.counter("runtime.gets.am"), 0u);
+
+  rt.reset_metrics();
+  const core::RunReport cleared = rt.metrics();
+  EXPECT_EQ(cleared.counter("runtime.gets.am"), 0u);
+  EXPECT_EQ(cleared.counter("cache.hits"), 0u);
+  EXPECT_EQ(cleared.counter("transport.wire_bytes"), 0u);
+  EXPECT_EQ(cleared.events, 0u);
+  EXPECT_DOUBLE_EQ(cleared.elapsed_us, 0.0);
+
+  // A second identical run after the reset is measured from the new
+  // epoch only, so its window reports exactly the first run's counts
+  // (the body allocates a fresh array, so the cold miss repeats too).
+  rt.run(tiny_body);
+  const core::RunReport second = rt.metrics();
+  EXPECT_GT(second.events, 0u);
+  EXPECT_EQ(second.counter("runtime.gets.am"),
+            first.counter("runtime.gets.am"));
+  EXPECT_EQ(second.counter("runtime.gets.rdma"),
+            first.counter("runtime.gets.rdma"));
+  EXPECT_EQ(second.counter("cache.misses"), first.counter("cache.misses"));
+}
+
+TEST(RuntimeMetrics, TraceLinesPresentOnlyWhenTracing) {
+  {
+    Runtime rt(tiny_config());
+    rt.run(tiny_body);
+    EXPECT_TRUE(rt.metrics().trace.empty());
+  }
+  {
+    RuntimeConfig cfg = tiny_config();
+    cfg.trace = true;
+    Runtime rt(std::move(cfg));
+    rt.run(tiny_body);
+    const core::RunReport rep = rt.metrics();
+    ASSERT_FALSE(rep.trace.empty());
+    bool saw_rdma_get = false;
+    for (const auto& line : rep.trace) {
+      if (line.op == "get" && line.path == "rdma" && line.count == 3) {
+        saw_rdma_get = true;
+      }
+    }
+    EXPECT_TRUE(saw_rdma_get);
+  }
+}
+
+// --- JSON serialization ------------------------------------------------
+
+TEST(Json, EscapesAndFormatsCanonically) {
+  bench::Json obj = bench::Json::object();
+  obj.set("s", bench::Json::str("a\"b\\c\n"));
+  obj.set("i", bench::Json::number(std::uint64_t{18446744073709551615ull}));
+  obj.set("d", bench::Json::number(1.5));
+  obj.set("b", bench::Json::boolean(true));
+  obj.set("n", bench::Json());
+  EXPECT_EQ(obj.dump_string(0),
+            "{\"s\":\"a\\\"b\\\\c\\n\",\"i\":18446744073709551615,"
+            "\"d\":1.5,\"b\":true,\"n\":null}");
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrder) {
+  bench::Json obj = bench::Json::object();
+  obj.set("z", bench::Json::number(1));
+  obj.set("a", bench::Json::number(2));
+  EXPECT_EQ(obj.dump_string(0), "{\"z\":1,\"a\":2}");
+}
+
+TEST(BenchArgs, ParsesJsonFlagForms) {
+  {
+    const char* argv[] = {"bench", "--json", "out.json"};
+    const auto args = bench::parse_bench_args(3, const_cast<char**>(argv));
+    EXPECT_EQ(args.json_path, "out.json");
+  }
+  {
+    const char* argv[] = {"bench", "--json=x.json"};
+    const auto args = bench::parse_bench_args(2, const_cast<char**>(argv));
+    EXPECT_EQ(args.json_path, "x.json");
+  }
+  {
+    const char* argv[] = {"bench"};
+    const auto args = bench::parse_bench_args(1, const_cast<char**>(argv));
+    EXPECT_FALSE(args.json());
+  }
+  {
+    const char* argv[] = {"bench", "--json"};
+    EXPECT_THROW(bench::parse_bench_args(2, const_cast<char**>(argv)),
+                 std::invalid_argument);
+  }
+}
+
+// --- Golden file -------------------------------------------------------
+
+// The serialized report of the tiny fixed-seed run must stay byte-for-
+// byte stable. Regenerate intentionally with:
+//   XLUPC_REGEN_GOLDEN=1 ./metrics_test --gtest_filter='*GoldenFile*'
+TEST(RunReportJson, GoldenFileIsByteStable) {
+  Runtime rt(tiny_config());
+  rt.run(tiny_body);
+
+  bench::Json doc = bench::Json::object();
+  doc.set("benchmark", bench::Json::str("tiny_fixture"));
+  doc.set("config", bench::to_json(rt.config()));
+  doc.set("metrics", bench::to_json(rt.metrics()));
+  const std::string got = doc.dump_string() + "\n";
+
+  const std::string path =
+      std::string(XLUPC_SOURCE_DIR) + "/tests/golden/tiny_report.json";
+  if (std::getenv("XLUPC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path;
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str());
+}
+
+}  // namespace
+}  // namespace xlupc

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Documentation identifier check.
+#
+# Scans the markdown docs for C++-style identifiers (`Namespace::member`
+# tokens in code fences or inline code) and fails when one no longer
+# exists anywhere in the source tree — catching docs that drift from the
+# API they describe. Run from anywhere:
+#
+#   tools/doccheck.sh            # or: ctest -R doccheck / ninja doccheck
+#
+# Heuristics: only qualified tokens (containing ::) are checked, because
+# bare words are too noisy; the std:: namespace and template parameters
+# are skipped; a token passes when its final component is found as a
+# whole word anywhere under src/, bench/, tests/ or examples/.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+docs="README.md DESIGN.md EXPERIMENTS.md docs/API.md docs/CALIBRATION.md \
+      docs/SIMULATOR.md docs/OBSERVABILITY.md"
+search_dirs="src bench tests examples"
+
+status=0
+checked=0
+
+# Qualified identifiers, e.g. core::Runtime, Runtime::metrics, sim::us.
+tokens=$(grep -ohE '[A-Za-z_][A-Za-z0-9_]*(::[A-Za-z_~][A-Za-z0-9_]*)+' \
+           $docs 2>/dev/null | sort -u || true)
+
+for token in $tokens; do
+  case "$token" in
+    std::*) continue ;;  # the standard library is not ours to check
+  esac
+  # Validate the last component; the qualifier may legitimately be
+  # abbreviated in prose (core::Runtime vs xlupc::core::Runtime).
+  leaf=${token##*::}
+  checked=$((checked + 1))
+  if ! grep -rqw -- "$leaf" $search_dirs; then
+    echo "doccheck: stale identifier \`$token\` (no \`$leaf\` in sources)" >&2
+    status=1
+  fi
+done
+
+# Command-line flags documented for the bench binaries must be parsed
+# somewhere in benchsupport.
+for flag in $(grep -ohE -- '--[a-z][a-z0-9-]+' $docs 2>/dev/null |
+                sort -u || true); do
+  case "$flag" in
+    # cmake/ctest invocations quoted in the build instructions.
+    --build|--test-dir|--target|--output-on-failure) continue ;;
+  esac
+  checked=$((checked + 1))
+  if ! grep -rq -- "$flag" src/benchsupport bench; then
+    echo "doccheck: documented flag $flag not found in the harness" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "doccheck: $checked doc identifiers verified against the sources"
+fi
+exit $status
