@@ -8,6 +8,7 @@
 
 #include "mem/pinned_table.h"
 #include "net/params.h"
+#include "sim/time.h"
 
 namespace xlupc::bench {
 
@@ -81,6 +82,28 @@ Json to_json(const core::RuntimeConfig& cfg) {
                                                                 : "chunked"));
   j.set("seed", Json::number(cfg.seed));
   j.set("trace", Json::boolean(cfg.trace));
+
+  // The "faults" key appears only when a fault plan is active, keeping
+  // fault-free config sections byte-identical to pre-fault-layer output.
+  if (cfg.faults.any()) {
+    Json faults = Json::object();
+    faults.set("seed", Json::number(cfg.faults.seed));
+    faults.set("drop_prob", Json::number(cfg.faults.drop_prob));
+    faults.set("corrupt_prob", Json::number(cfg.faults.corrupt_prob));
+    faults.set("dup_prob", Json::number(cfg.faults.dup_prob));
+    faults.set("pin_fail_prob", Json::number(cfg.faults.pin_fail_prob));
+    faults.set("rto_us", Json::number(sim::to_us(cfg.faults.rto)));
+    faults.set("rto_backoff", Json::number(cfg.faults.rto_backoff));
+    faults.set("rto_cap_us", Json::number(sim::to_us(cfg.faults.rto_cap)));
+    faults.set("max_retransmits",
+               Json::number(static_cast<std::uint64_t>(
+                   cfg.faults.max_retransmits)));
+    faults.set("nic_stalls", Json::number(static_cast<std::uint64_t>(
+                                 cfg.faults.nic_stalls.size())));
+    faults.set("slowdowns", Json::number(static_cast<std::uint64_t>(
+                                cfg.faults.slowdowns.size())));
+    j.set("faults", std::move(faults));
+  }
   return j;
 }
 

@@ -8,6 +8,7 @@
 #include "core/layout.h"
 #include "mem/pinned_table.h"
 #include "net/params.h"
+#include "sim/fault_plan.h"
 #include "svd/handle.h"
 
 namespace xlupc::core {
@@ -53,6 +54,10 @@ struct RuntimeConfig {
   /// Record a TraceEvent for every data-movement operation (the
   /// Paraver-style analysis of paper Sec. 4.6).
   bool trace = false;
+  /// Deterministic fault-injection plan (docs/FAULTS.md). The default
+  /// null plan disables fault injection entirely: runs are byte-identical
+  /// to a build without the fault layer.
+  sim::FaultParams faults;
 
   std::uint32_t threads() const noexcept { return nodes * threads_per_node; }
 };
@@ -69,6 +74,10 @@ struct OpCounters {
   std::uint64_t am_puts = 0;
   std::uint64_t rdma_puts = 0;
   std::uint64_t rdma_naks = 0;   ///< RDMA refused (unpinned), fell back
+  /// Injected transient registration failures (FaultPlan::pin_fails):
+  /// the target served the access but could not piggyback a base
+  /// address, so the initiator's cache was not populated.
+  std::uint64_t pin_failures = 0;
 };
 
 }  // namespace xlupc::core

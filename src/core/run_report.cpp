@@ -62,6 +62,7 @@ RunReport Runtime::metrics() {
   std::uint64_t cache_entries = 0;
   std::uint64_t pin_calls = 0, registrations = 0, deregistrations = 0;
   std::uint64_t pinned_bytes = 0, pin_handles = 0;
+  std::uint64_t cap_evictions = 0;
   for (NodeId n = 0; n < cfg_.nodes; ++n) {
     const AddressCacheStats& s = node(n).cache->stats();
     cs.hits += s.hits;
@@ -74,6 +75,7 @@ RunReport Runtime::metrics() {
     pin_calls += pt.total_pin_calls();
     registrations += pt.total_registrations();
     deregistrations += pt.total_deregistrations();
+    cap_evictions += pt.total_cap_evictions();
     pinned_bytes += pt.pinned_bytes();
     pin_handles += pt.handle_count();
   }
@@ -114,6 +116,23 @@ RunReport Runtime::metrics() {
   reg.set("regcache.misses", rc_misses);
   reg.set("regcache.evictions", rc_evictions);
   reg.set("regcache.resident_bytes", rc_resident);
+
+  // --- fault injection + reliability layer (docs/FAULTS.md) ---
+  // Folded only when a FaultPlan is enabled, so fault-free reports stay
+  // byte-identical to builds that predate the fault layer.
+  if (machine_.faults().enabled()) {
+    reg.set("fault.dropped_msgs", ts.dropped_msgs);
+    reg.set("fault.corrupt_msgs", ts.corrupt_msgs);
+    reg.set("fault.duplicate_msgs", ts.duplicate_msgs);
+    reg.set("fault.nic_stall_waits", ts.nic_stall_waits);
+    reg.set("fault.pin_failures", counters_.pin_failures);
+    reg.set("reliability.retransmits", ts.retransmits);
+    reg.set("reliability.timeouts", ts.timeouts);
+    reg.set("reliability.rdma_nak_fallbacks", counters_.rdma_naks);
+    reg.set("reliability.bounce_fallbacks", ts.bounce_fallbacks);
+    reg.set("reliability.forced_evictions", cap_evictions);
+    reg.set_gauge("reliability.backoff_us", sim::to_us(ts.backoff_ns));
+  }
 
   // --- simulation engine ---
   reg.set("sim.events", sim_.events_executed() - events_epoch_);

@@ -40,7 +40,8 @@ LayoutSpec from_wire(const net::WireLayout& w) {
 Runtime::Runtime(RuntimeConfig cfg)
     : cfg_(std::move(cfg)),
       machine_(sim_, cfg_.platform,
-               net::MachineConfig{cfg_.nodes, cfg_.threads_per_node}) {
+               net::MachineConfig{cfg_.nodes, cfg_.threads_per_node,
+                                  cfg_.faults}) {
   if (cfg_.nodes == 0 || cfg_.threads_per_node == 0) {
     throw std::invalid_argument("Runtime: nodes/threads must be positive");
   }
@@ -318,13 +319,13 @@ Task<void> Runtime::get_span(UpcThread& th, const ArrayDesc& a,
                       dst.data())),
             len);
       }
-      auto data = co_await transport_->rdma_get(from, owner, raddr, len);
-      if (data) {
+      auto res = co_await transport_->rdma_get(from, owner, raddr, len);
+      if (res.ok()) {
         if (len <= p.rdma_bounce_limit) {
           // Landed in a preregistered bounce buffer; copy out on the CPU.
           co_await machine_.core(th.node(), th.core()).use(p.copy_time(len));
         }
-        std::memcpy(dst.data(), data->data(), len);
+        std::memcpy(dst.data(), res.data.data(), len);
         ++counters_.rdma_gets;
         trace(TracePath::kRdma);
         co_return;
@@ -407,10 +408,10 @@ Task<void> Runtime::put_span(UpcThread& th, const ArrayDesc& a,
       }
       note_put_issued(th);
       const ThreadId tid = th.id();
-      const bool ok = co_await transport_->rdma_put(
+      const auto res = co_await transport_->rdma_put(
           from, owner, raddr, {src.begin(), src.end()},
           [this, tid] { note_put_completed(tid); });
-      if (ok) {
+      if (res.ok()) {
         ++counters_.rdma_puts;
         trace(TracePath::kRdma);
         co_return;
@@ -458,7 +459,12 @@ net::AmTarget::GetServe Runtime::serve_get(NodeId target,
   nd.space->read(addr, out.data);
   out.src_addr = addr;
 
-  if (req.want_base) {
+  if (req.want_base && machine_.faults().pin_fails(target)) {
+    // Injected transient registration failure: serve the data, but skip
+    // the pin and the piggyback — the initiator's cache stays cold and
+    // later accesses retry via the AM path.
+    ++counters_.pin_failures;
+  } else if (req.want_base) {
     const svd::ControlBlock* cb = nd.dir->find(h);
     const mem::PinResult pr =
         cfg_.pin_strategy == mem::PinStrategy::kGreedy
@@ -483,7 +489,9 @@ net::AmTarget::PutServe Runtime::serve_put(NodeId target,
 
   PutServe out;
   out.dst_addr = addr;
-  if (req.want_base) {
+  if (req.want_base && machine_.faults().pin_fails(target)) {
+    ++counters_.pin_failures;  // injected transient registration failure
+  } else if (req.want_base) {
     const svd::ControlBlock* cb = nd.dir->find(h);
     const mem::PinResult pr =
         cfg_.pin_strategy == mem::PinStrategy::kGreedy
@@ -507,7 +515,9 @@ net::AmTarget::PutServe Runtime::serve_put_rendezvous(
 
   PutServe out;
   out.dst_addr = addr;
-  if (req.want_base) {
+  if (req.want_base && machine_.faults().pin_fails(target)) {
+    ++counters_.pin_failures;  // injected transient registration failure
+  } else if (req.want_base) {
     const svd::ControlBlock* cb = nd.dir->find(h);
     const mem::PinResult pr =
         cfg_.pin_strategy == mem::PinStrategy::kGreedy
@@ -531,15 +541,16 @@ void Runtime::deliver_put_payload(NodeId target, std::uint64_t svd_handle,
   node(target).space->write(addr, data);
 }
 
-std::byte* Runtime::rdma_memory(NodeId target, Addr addr, std::size_t len) {
+net::RdmaWindow Runtime::rdma_memory(NodeId target, Addr addr,
+                                     std::size_t len) {
   Node& nd = node(target);
   if (!nd.space->contains(addr, len)) {
     throw net::RdmaProtocolError("RDMA to invalid remote address");
   }
   if (!nd.pinned->is_pinned(addr, len)) {
-    return nullptr;  // NAK — window not pinned
+    return net::RdmaWindow{nullptr, net::RdmaNak::kNotPinned};
   }
-  return nd.space->data(addr, len);
+  return net::RdmaWindow{nd.space->data(addr, len), net::RdmaNak::kNone};
 }
 
 void Runtime::serve_control(NodeId target, NodeId source,

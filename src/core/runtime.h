@@ -224,7 +224,8 @@ class Runtime final : public net::AmTarget {
                            std::vector<std::byte>&& data) override;
   void serve_control(NodeId target, NodeId source,
                      const net::ControlMsg& msg) override;
-  std::byte* rdma_memory(NodeId target, Addr addr, std::size_t len) override;
+  net::RdmaWindow rdma_memory(NodeId target, Addr addr,
+                              std::size_t len) override;
 
  private:
   friend class UpcThread;

@@ -60,6 +60,7 @@ bool PinnedAddressTable::make_room(std::size_t need, PinResult& result) {
     if (victim == regions_.end()) return false;
     pinned_bytes_ -= victim->second.len;
     ++deregistrations_;
+    ++cap_evictions_;
     ++result.evicted_handles;
     result.evicted_bytes += victim->second.len;
     regions_.erase(victim);

@@ -87,10 +87,13 @@ class PinnedAddressTable {
   std::uint64_t total_deregistrations() const noexcept {
     return deregistrations_;
   }
+  /// Deregistrations forced by total-pinned-bytes pressure specifically
+  /// (a subset of total_deregistrations — unpin() is excluded).
+  std::uint64_t total_cap_evictions() const noexcept { return cap_evictions_; }
 
   /// Zero the lifetime counters; pinned regions themselves are kept.
   void reset_counters() {
-    pin_calls_ = registrations_ = deregistrations_ = 0;
+    pin_calls_ = registrations_ = deregistrations_ = cap_evictions_ = 0;
   }
 
  private:
@@ -117,6 +120,7 @@ class PinnedAddressTable {
   std::uint64_t pin_calls_ = 0;
   std::uint64_t registrations_ = 0;
   std::uint64_t deregistrations_ = 0;
+  std::uint64_t cap_evictions_ = 0;
 };
 
 }  // namespace xlupc::mem

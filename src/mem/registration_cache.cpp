@@ -35,6 +35,14 @@ RegLookup RegistrationCache::ensure(Addr addr, std::size_t len) {
   // Register the exact range requested; drop overlapping stale regions
   // first so the map stays non-overlapping.
   invalidate(addr, len);
+  if (capacity_ != 0 && len > capacity_) {
+    // Larger than the entire DMAable budget: no amount of eviction makes
+    // it fit, and registering anyway would overshoot the OS cap. Report a
+    // bounce so the transfer stages through bounce buffers instead.
+    out.bounced = true;
+    ++bounces_;
+    return out;
+  }
   if (capacity_ != 0) {
     while (resident_ + len > capacity_ && !regions_.empty()) {
       evict_one(out);

@@ -17,6 +17,9 @@ namespace xlupc::mem {
 /// Outcome of ensuring a buffer is registered for a transfer.
 struct RegLookup {
   bool hit = false;              ///< region already registered
+  bool bounced = false;          ///< region exceeds the whole DMAable
+                                 ///< budget: not registered, caller must
+                                 ///< stage through bounce buffers
   std::size_t registered = 0;    ///< bytes newly registered
   std::size_t deregistered = 0;  ///< bytes lazily deregistered (evictions)
   std::size_t evicted_regions = 0;  ///< regions evicted to make room
@@ -42,9 +45,11 @@ class RegistrationCache {
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
   std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t bounces() const noexcept { return bounces_; }
 
-  /// Zero the hit/miss/eviction counters; resident regions are kept.
-  void reset_counters() { hits_ = misses_ = evictions_ = 0; }
+  /// Zero the hit/miss/eviction/bounce counters; resident regions are
+  /// kept.
+  void reset_counters() { hits_ = misses_ = evictions_ = bounces_ = 0; }
 
  private:
   struct Region {
@@ -61,6 +66,7 @@ class RegistrationCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t bounces_ = 0;
 };
 
 }  // namespace xlupc::mem

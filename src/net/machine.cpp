@@ -6,7 +6,10 @@ namespace xlupc::net {
 
 Machine::Machine(sim::Simulator& sim, PlatformParams params,
                  MachineConfig config)
-    : sim_(&sim), params_(std::move(params)), config_(config) {
+    : sim_(&sim),
+      params_(std::move(params)),
+      config_(std::move(config)),
+      faults_(config_.faults) {
   if (config_.nodes == 0 || config_.cores_per_node == 0) {
     throw std::invalid_argument("Machine: nodes and cores must be positive");
   }

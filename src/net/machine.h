@@ -15,6 +15,7 @@
 #include "common/types.h"
 #include "net/params.h"
 #include "net/topology.h"
+#include "sim/fault_plan.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 
@@ -23,6 +24,9 @@ namespace xlupc::net {
 struct MachineConfig {
   std::uint32_t nodes = 1;
   std::uint32_t cores_per_node = 1;
+  /// Deterministic fault-injection plan (docs/FAULTS.md). The default is
+  /// the null plan: no faults, and zero overhead in the transports.
+  sim::FaultParams faults;
 };
 
 class Machine {
@@ -54,6 +58,10 @@ class Machine {
   /// Zero the usage statistics of every resource (new metrics window).
   void reset_resource_usage();
 
+  /// The cluster's fault-injection plan (a disabled null plan by default).
+  sim::FaultPlan& faults() noexcept { return faults_; }
+  const sim::FaultPlan& faults() const noexcept { return faults_; }
+
   /// One-way wire latency between nodes.
   sim::Duration latency(NodeId a, NodeId b) const {
     return wire_latency(params_, a, b);
@@ -74,6 +82,7 @@ class Machine {
   sim::Simulator* sim_;
   PlatformParams params_;
   MachineConfig config_;
+  sim::FaultPlan faults_;
   std::vector<Node> nodes_;
 };
 

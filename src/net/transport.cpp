@@ -1,5 +1,7 @@
 #include "net/transport.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 namespace xlupc::net {
@@ -20,12 +22,98 @@ void Transport::reset_stats() {
   for (auto& rc : reg_caches_) rc.reset_counters();
 }
 
+// ------------------------------------------------- reliability layer ---
+
+Duration Transport::scaled(NodeId node, Duration d) const {
+  const sim::FaultPlan& plan = machine_.faults();
+  if (!plan.enabled()) return d;
+  const double f = plan.slowdown(node, machine_.simulator().now());
+  if (f == 1.0) return d;
+  return static_cast<Duration>(static_cast<double>(d) * f);
+}
+
+Task<void> Transport::deliver(NodeId src, NodeId dst, sim::Resource* retx_nic,
+                              Duration retx_cost, std::uint64_t retx_bytes) {
+  auto& sim = machine_.simulator();
+  const Duration lat = machine_.latency(src, dst);
+  sim::FaultPlan& plan = machine_.faults();
+  if (!plan.enabled()) {
+    // Null plan: exactly the bare latency delay the seed charged — same
+    // event count, same timing, byte-identical reports.
+    co_await sim.delay(lat);
+    co_return;
+  }
+
+  const sim::FaultParams& fp = plan.params();
+  const std::uint64_t link = (static_cast<std::uint64_t>(src) << 32) | dst;
+  LinkSeq& ls = link_seq_[link];
+  const std::uint64_t seq = ls.next_seq++;
+
+  // The source NIC makes no progress while a stall window is open.
+  const Duration stall = plan.stall_remaining(src, sim.now());
+  if (stall != 0) {
+    ++stats_.nic_stall_waits;
+    co_await sim.delay(stall);
+  }
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    switch (plan.transmit(src, dst)) {
+      case sim::FaultPlan::Verdict::kDeliver: {
+        co_await sim.delay(lat);
+        if (seq >= ls.delivered_hwm) ls.delivered_hwm = seq + 1;
+        // A leg recovered by retransmission may also see its "lost"
+        // original arrive late. It carries the same stamp `seq`, now
+        // below the link's delivered high-water mark, so the receiver
+        // discards it after paying dispatch overhead.
+        if (attempt > 0 && plan.late_duplicate(src, dst) &&
+            seq < ls.delivered_hwm) {
+          ++stats_.duplicate_msgs;
+          co_await sim.delay(machine_.params().recv_overhead);
+        }
+        co_return;
+      }
+      case sim::FaultPlan::Verdict::kDrop:
+        ++stats_.dropped_msgs;
+        break;
+      case sim::FaultPlan::Verdict::kCorrupt:
+        ++stats_.corrupt_msgs;
+        break;
+    }
+    if (attempt >= fp.max_retransmits) {
+      ++stats_.timeouts;
+      throw TransportTimeout(
+          "transport: seq " + std::to_string(seq) + " on link " +
+          std::to_string(src) + "->" + std::to_string(dst) + " lost after " +
+          std::to_string(fp.max_retransmits) + " retransmissions");
+    }
+    // No ACK within the (capped exponential) retransmission timeout:
+    // re-inject the same message on the sender NIC.
+    const Duration rto = plan.rto_after(attempt);
+    stats_.backoff_ns += rto;
+    ++stats_.retransmits;
+    co_await sim.delay(rto);
+    if (retx_nic != nullptr && retx_cost != 0) {
+      co_await retx_nic->use(retx_cost);
+    }
+    stats_.wire_bytes += retx_bytes;
+  }
+}
+
 Task<void> Transport::charge_reg_cache(sim::Resource& cpu, NodeId node,
                                        Addr addr, std::size_t len) {
   const auto& p = machine_.params();
   const auto rl = reg_caches_[node].ensure(addr, len);
   Duration cost = 0;
-  if (!rl.hit) cost += p.reg_time(rl.registered, 1);
+  if (rl.bounced) {
+    // Region exceeds the whole DMAable budget: registration is
+    // impossible, so the transfer degrades to staging through bounce
+    // buffers — one extra host copy instead of an aborted (or cap-
+    // overshooting) registration.
+    ++stats_.bounce_fallbacks;
+    cost += p.copy_time(len);
+  } else if (!rl.hit) {
+    cost += p.reg_time(rl.registered, 1);
+  }
   cost += p.dereg_base * rl.evicted_regions;  // lazy deregistration bill
   if (cost != 0) co_await cpu.use(cost);
 }
@@ -57,25 +145,29 @@ Task<GetReply> Transport::get_eager(Initiator from, NodeId dst,
   co_await machine_.nic_tx(from.node)
       .use(p.nic_tx_overhead + machine_.serialize_with_header(0));
   stats_.wire_bytes += p.header_bytes;
-  co_await sim.delay(machine_.latency(from.node, dst));
+  co_await deliver(from.node, dst, &machine_.nic_tx(from.node),
+                   p.nic_tx_overhead + machine_.serialize_with_header(0),
+                   p.header_bytes);
 
   // Target: header handler translates the SVD handle, optionally pins the
   // object, and copies the data into a bounce buffer.
   auto& hcpu = handler_cpu(dst, req.target_core);
   co_await hcpu.acquire();
-  co_await sim.delay(p.recv_overhead + p.svd_lookup);
+  co_await sim.delay(scaled(dst, p.recv_overhead + p.svd_lookup));
   auto serve = target_.serve_get(dst, req);
   Duration extra = p.reg_time(serve.reg_new_bytes, serve.reg_new_handles) +
                    p.dereg_base * serve.reg_evicted_handles;
   extra += p.copy_time(req.len);  // copy into the send bounce buffer
-  co_await sim.delay(extra);
+  co_await sim.delay(scaled(dst, extra));
   hcpu.release();
 
   // Reply carrying the data (plus the piggybacked base address).
   co_await machine_.nic_tx(dst).use(p.nic_tx_overhead +
                                     machine_.serialize_with_header(req.len));
   stats_.wire_bytes += p.header_bytes + req.len;
-  co_await sim.delay(machine_.latency(dst, from.node));
+  co_await deliver(dst, from.node, &machine_.nic_tx(dst),
+                   p.nic_tx_overhead + machine_.serialize_with_header(req.len),
+                   p.header_bytes + req.len);
 
   // Initiator: receive dispatch; small replies land in a preposted bounce
   // buffer and are copied out, larger ones land in place.
@@ -101,27 +193,37 @@ Task<GetReply> Transport::get_rendezvous(Initiator from, NodeId dst,
   co_await machine_.nic_tx(from.node)
       .use(p.nic_tx_overhead + machine_.serialize_with_header(0));
   stats_.wire_bytes += p.header_bytes;
-  co_await sim.delay(machine_.latency(from.node, dst));
+  co_await deliver(from.node, dst, &machine_.nic_tx(from.node),
+                   p.nic_tx_overhead + machine_.serialize_with_header(0),
+                   p.header_bytes);
 
   // Target: translate, register the source region, directed zero-copy send.
   auto& hcpu = handler_cpu(dst, req.target_core);
   co_await hcpu.acquire();
-  co_await sim.delay(p.recv_overhead + p.svd_lookup);
+  co_await sim.delay(scaled(dst, p.recv_overhead + p.svd_lookup));
   auto serve = target_.serve_get(dst, req);
   const Duration pin_cost =
       p.reg_time(serve.reg_new_bytes, serve.reg_new_handles) +
       p.dereg_base * serve.reg_evicted_handles;
-  co_await sim.delay(pin_cost);
+  co_await sim.delay(scaled(dst, pin_cost));
   const auto rl = reg_caches_[dst].ensure(serve.src_addr, req.len);
-  Duration reg_cost = rl.hit ? 0 : p.reg_time(rl.registered, 1);
+  Duration reg_cost = 0;
+  if (rl.bounced) {
+    ++stats_.bounce_fallbacks;
+    reg_cost += p.copy_time(req.len);  // stage through bounce buffers
+  } else if (!rl.hit) {
+    reg_cost += p.reg_time(rl.registered, 1);
+  }
   reg_cost += p.dereg_base * rl.evicted_regions;
-  co_await sim.delay(reg_cost);
+  co_await sim.delay(scaled(dst, reg_cost));
   hcpu.release();
 
   co_await machine_.nic_tx(dst).use(p.nic_tx_overhead +
                                     machine_.serialize_with_header(req.len));
   stats_.wire_bytes += p.header_bytes + req.len;
-  co_await sim.delay(machine_.latency(dst, from.node));
+  co_await deliver(dst, from.node, &machine_.nic_tx(dst),
+                   p.nic_tx_overhead + machine_.serialize_with_header(req.len),
+                   p.header_bytes + req.len);
 
   // Zero-copy landing: completion notification only.
   co_await machine_.core(from.node, from.core).use(p.recv_overhead);
@@ -169,21 +271,40 @@ Task<void> Transport::put_remote(Initiator from, NodeId dst, PutRequest req,
   const auto& p = machine_.params();
   const std::size_t len = req.data.size();
 
-  co_await sim.delay(machine_.latency(from.node, dst));
+  try {
+    co_await deliver(from.node, dst, &machine_.nic_tx(from.node),
+                     p.nic_tx_overhead + machine_.serialize_with_header(len),
+                     p.header_bytes + len);
+  } catch (const TransportTimeout&) {
+    // Detached half: the initiator already completed locally. Complete the
+    // operation (without a piggybacked base) so fences cannot deadlock;
+    // the loss is visible in stats().timeouts.
+    if (on_ack) on_ack(PutAck{});
+    co_return;
+  }
 
   auto& hcpu = handler_cpu(dst, req.target_core);
   co_await hcpu.acquire();
-  co_await sim.delay(p.recv_overhead + p.svd_lookup + p.copy_time(len));
+  co_await sim.delay(
+      scaled(dst, p.recv_overhead + p.svd_lookup + p.copy_time(len)));
   auto serve = target_.serve_put(dst, std::move(req));
-  co_await sim.delay(p.reg_time(serve.reg_new_bytes, serve.reg_new_handles) +
-                     p.dereg_base * serve.reg_evicted_handles);
+  co_await sim.delay(
+      scaled(dst, p.reg_time(serve.reg_new_bytes, serve.reg_new_handles) +
+                      p.dereg_base * serve.reg_evicted_handles));
   hcpu.release();
 
   // Acknowledgement (may carry the piggybacked base address).
   co_await machine_.nic_tx(dst).use(p.nic_tx_overhead +
                                     machine_.serialize_with_header(0));
   stats_.wire_bytes += p.header_bytes;
-  co_await sim.delay(machine_.latency(dst, from.node));
+  try {
+    co_await deliver(dst, from.node, &machine_.nic_tx(dst),
+                     p.nic_tx_overhead + machine_.serialize_with_header(0),
+                     p.header_bytes);
+  } catch (const TransportTimeout&) {
+    if (on_ack) on_ack(PutAck{});
+    co_return;
+  }
   co_await machine_.core(from.node, from.core).use(p.recv_overhead);
   if (on_ack) on_ack(PutAck{serve.base});
 }
@@ -199,26 +320,37 @@ Task<void> Transport::put_rendezvous(Initiator from, NodeId dst,
   co_await machine_.nic_tx(from.node)
       .use(p.nic_tx_overhead + machine_.serialize_with_header(0));
   stats_.wire_bytes += p.header_bytes;
-  co_await sim.delay(machine_.latency(from.node, dst));
+  co_await deliver(from.node, dst, &machine_.nic_tx(from.node),
+                   p.nic_tx_overhead + machine_.serialize_with_header(0),
+                   p.header_bytes);
 
   // Target: translate + register the destination region.
   auto& hcpu = handler_cpu(dst, req.target_core);
   co_await hcpu.acquire();
-  co_await sim.delay(p.recv_overhead + p.svd_lookup);
+  co_await sim.delay(scaled(dst, p.recv_overhead + p.svd_lookup));
   auto serve = target_.serve_put_rendezvous(dst, req, len);
-  co_await sim.delay(p.reg_time(serve.reg_new_bytes, serve.reg_new_handles) +
-                     p.dereg_base * serve.reg_evicted_handles);
+  co_await sim.delay(
+      scaled(dst, p.reg_time(serve.reg_new_bytes, serve.reg_new_handles) +
+                      p.dereg_base * serve.reg_evicted_handles));
   const auto rl = reg_caches_[dst].ensure(serve.dst_addr, len);
-  Duration reg_cost = rl.hit ? 0 : p.reg_time(rl.registered, 1);
+  Duration reg_cost = 0;
+  if (rl.bounced) {
+    ++stats_.bounce_fallbacks;
+    reg_cost += p.copy_time(len);  // stage through bounce buffers
+  } else if (!rl.hit) {
+    reg_cost += p.reg_time(rl.registered, 1);
+  }
   reg_cost += p.dereg_base * rl.evicted_regions;
-  co_await sim.delay(reg_cost);
+  co_await sim.delay(scaled(dst, reg_cost));
   hcpu.release();
 
   // CTS back to the initiator.
   co_await machine_.nic_tx(dst).use(p.nic_tx_overhead +
                                     machine_.serialize_with_header(0));
   stats_.wire_bytes += p.header_bytes;
-  co_await sim.delay(machine_.latency(dst, from.node));
+  co_await deliver(dst, from.node, &machine_.nic_tx(dst),
+                   p.nic_tx_overhead + machine_.serialize_with_header(0),
+                   p.header_bytes);
   co_await machine_.core(from.node, from.core).use(p.recv_overhead);
 
   // Stream the payload zero-copy; local completion when the NIC has
@@ -239,9 +371,16 @@ Task<void> Transport::put_rendezvous(Initiator from, NodeId dst,
 Task<void> Transport::put_payload_remote(Initiator from, NodeId dst,
                                          PutRequest req, PutAck ack,
                                          PutAckHook on_ack) {
-  auto& sim = machine_.simulator();
   const auto& p = machine_.params();
-  co_await sim.delay(machine_.latency(from.node, dst));
+  try {
+    co_await deliver(from.node, dst, &machine_.nic_tx(from.node),
+                     p.nic_tx_overhead +
+                         machine_.serialize_with_header(req.data.size()),
+                     p.header_bytes + req.data.size());
+  } catch (const TransportTimeout&) {
+    if (on_ack) on_ack(PutAck{});
+    co_return;
+  }
   // Data lands via DMA into the registered destination — no target CPU.
   target_.deliver_put_payload(dst, req.svd_handle, req.offset,
                               std::move(req.data));
@@ -251,8 +390,8 @@ Task<void> Transport::put_payload_remote(Initiator from, NodeId dst,
 
 // --------------------------------------------------------------- RDMA ---
 
-Task<std::optional<std::vector<std::byte>>> Transport::rdma_get(
-    Initiator from, NodeId dst, Addr raddr, std::uint32_t len) {
+Task<RdmaGetResult> Transport::rdma_get(Initiator from, NodeId dst, Addr raddr,
+                                        std::uint32_t len) {
   ++stats_.rdma_gets;
   auto& sim = machine_.simulator();
   const auto& p = machine_.params();
@@ -262,51 +401,63 @@ Task<std::optional<std::vector<std::byte>>> Transport::rdma_get(
   co_await machine_.nic_dma(from.node)
       .use(p.dma_engine_overhead + machine_.serialize_with_header(0));
   stats_.wire_bytes += p.header_bytes;
-  co_await sim.delay(machine_.latency(from.node, dst));
+  co_await deliver(from.node, dst, &machine_.nic_dma(from.node),
+                   p.dma_engine_overhead + machine_.serialize_with_header(0),
+                   p.header_bytes);
 
   // Target NIC DMA engine reads pinned memory and streams it back — the
   // remote CPU is not involved at all.
   auto& dma = machine_.nic_dma(dst);
   co_await dma.acquire();
-  const std::byte* src = target_.rdma_memory(dst, raddr, len);
-  if (src == nullptr) {
+  const RdmaWindow win = target_.rdma_memory(dst, raddr, len);
+  if (!win.ok()) {
     // NAK: window not pinned. Small control frame back.
     co_await sim.delay(p.dma_engine_overhead);
     dma.release();
     ++stats_.rdma_naks;
-    co_await sim.delay(machine_.latency(dst, from.node));
+    co_await deliver(dst, from.node, &machine_.nic_dma(dst),
+                     p.dma_engine_overhead, 0);
     co_await machine_.core(from.node, from.core).use(p.rdma_completion);
-    co_return std::nullopt;
+    co_return RdmaGetResult{win.nak, {}};
   }
-  std::vector<std::byte> out(src, src + len);
+  std::vector<std::byte> out(win.memory, win.memory + len);
   co_await sim.delay(p.dma_engine_overhead +
                      machine_.serialize_with_header(len));
   dma.release();
   stats_.wire_bytes += p.header_bytes + len;
-  co_await sim.delay(machine_.latency(dst, from.node));
+  co_await deliver(dst, from.node, &machine_.nic_dma(dst),
+                   p.dma_engine_overhead + machine_.serialize_with_header(len),
+                   p.header_bytes + len);
 
   // Completion detection at the initiator.
   co_await machine_.core(from.node, from.core).use(p.rdma_completion);
-  co_return out;
+  co_return RdmaGetResult{RdmaNak::kNone, std::move(out)};
 }
 
-Task<bool> Transport::rdma_put(Initiator from, NodeId dst, Addr raddr,
-                               std::vector<std::byte> data,
-                               std::function<void()> on_done) {
+Task<RdmaPutResult> Transport::rdma_put(Initiator from, NodeId dst, Addr raddr,
+                                        std::vector<std::byte> data,
+                                        std::function<void()> on_done) {
   ++stats_.rdma_puts;
   auto& sim = machine_.simulator();
   const auto& p = machine_.params();
   const std::size_t len = data.size();
 
-  std::byte* dst_mem = target_.rdma_memory(dst, raddr, len);
-  if (dst_mem == nullptr) {
+  const RdmaWindow win = target_.rdma_memory(dst, raddr, len);
+  if (!win.ok()) {
     // NAK discovered after a descriptor roundtrip.
     ++stats_.rdma_naks;
     co_await machine_.core(from.node, from.core).use(p.rdma_put_setup);
-    co_await sim.delay(machine_.latency(from.node, dst) +
-                       machine_.latency(dst, from.node));
+    if (!machine_.faults().enabled()) {
+      co_await sim.delay(machine_.latency(from.node, dst) +
+                         machine_.latency(dst, from.node));
+    } else {
+      co_await deliver(from.node, dst, &machine_.nic_dma(from.node),
+                       p.dma_engine_overhead, 0);
+      co_await deliver(dst, from.node, &machine_.nic_dma(dst),
+                       p.dma_engine_overhead, 0);
+    }
     co_await machine_.core(from.node, from.core).use(p.rdma_completion);
-    co_return false;
+    co_return RdmaPutResult{win.nak};
   }
 
   co_await machine_.core(from.node, from.core).use(p.rdma_put_setup);
@@ -315,39 +466,49 @@ Task<bool> Transport::rdma_put(Initiator from, NodeId dst, Addr raddr,
       .use(p.dma_engine_overhead + machine_.serialize_with_header(len));
   stats_.wire_bytes += p.header_bytes + len;
 
-  struct Landing {
-    Machine* machine;
-    NodeId src, dst;
-    std::byte* dst_mem;
-    std::vector<std::byte> data;
-    std::function<void()> on_done;
-  };
-  auto landing = [](sim::Simulator& s, Landing l) -> Task<void> {
-    co_await s.delay(l.machine->latency(l.src, l.dst));
-    std::copy(l.data.begin(), l.data.end(), l.dst_mem);
-    if (l.on_done) l.on_done();
-  };
-  machine_.simulator().spawn(landing(
-      sim, Landing{&machine_, from.node, dst, dst_mem, std::move(data),
-                   std::move(on_done)}));
-  co_return true;
+  machine_.simulator().spawn(rdma_put_landing(from, dst, win.memory,
+                                              std::move(data),
+                                              std::move(on_done)));
+  co_return RdmaPutResult{};
+}
+
+Task<void> Transport::rdma_put_landing(Initiator from, NodeId dst,
+                                       std::byte* dst_mem,
+                                       std::vector<std::byte> data,
+                                       std::function<void()> on_done) {
+  const auto& p = machine_.params();
+  try {
+    co_await deliver(from.node, dst, &machine_.nic_dma(from.node),
+                     p.dma_engine_overhead +
+                         machine_.serialize_with_header(data.size()),
+                     p.header_bytes + data.size());
+  } catch (const TransportTimeout&) {
+    // Data never landed; complete locally so fences cannot deadlock. The
+    // loss is visible in stats().timeouts.
+    if (on_done) on_done();
+    co_return;
+  }
+  std::copy(data.begin(), data.end(), dst_mem);
+  if (on_done) on_done();
 }
 
 // ------------------------------------------------------------ control ---
 
 Task<void> Transport::control(Initiator from, NodeId dst, ControlMsg msg) {
   ++stats_.control_msgs;
-  auto& sim = machine_.simulator();
   const auto& p = machine_.params();
 
   co_await machine_.core(from.node, from.core).use(p.send_overhead);
   co_await machine_.nic_tx(from.node)
       .use(p.nic_tx_overhead + machine_.serialize_with_header(kControlBytes));
   stats_.wire_bytes += p.header_bytes + kControlBytes;
-  co_await sim.delay(machine_.latency(from.node, dst));
+  co_await deliver(
+      from.node, dst, &machine_.nic_tx(from.node),
+      p.nic_tx_overhead + machine_.serialize_with_header(kControlBytes),
+      p.header_bytes + kControlBytes);
 
   auto& hcpu = handler_cpu(dst, 0);
-  co_await hcpu.use(p.recv_overhead);
+  co_await hcpu.use(scaled(dst, p.recv_overhead));
   target_.serve_control(dst, from.node, msg);
 }
 

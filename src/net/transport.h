@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -29,11 +30,56 @@
 
 namespace xlupc::net {
 
-/// Thrown when a one-sided operation addresses memory the target has not
-/// pinned — a correctness violation the runtime must never cause.
+/// Thrown when a one-sided operation addresses memory that is not part of
+/// the target's address space at all — a correctness violation the runtime
+/// must never cause. Contrast with RdmaNak below: a NAK ("valid memory,
+/// not currently pinned") is a legitimate runtime event the initiator
+/// recovers from; a protocol error is a bug and is never recovered.
 class RdmaProtocolError : public std::logic_error {
  public:
   using std::logic_error::logic_error;
+};
+
+/// Thrown when a message exceeds the reliability layer's retransmission
+/// budget (sim::FaultParams::max_retransmits) on a path the caller is
+/// awaiting. Detached protocol halves (PUT acks, RDMA landings) do not
+/// throw; they complete the operation locally and raise the
+/// TransportStats::timeouts counter instead, so fences cannot deadlock.
+class TransportTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Why a one-sided operation was refused by the target. Returned on the
+/// transport's RDMA result path so callers cannot confuse "not pinned"
+/// (recoverable: invalidate the cache entry and fall back to the AM path)
+/// with "bogus address" (RdmaProtocolError, never returned as a value).
+enum class RdmaNak : std::uint8_t {
+  kNone = 0,   ///< operation accepted
+  kNotPinned,  ///< valid memory, but no registration window covers it
+};
+
+/// Validated target window handed to the RDMA engine.
+struct RdmaWindow {
+  std::byte* memory = nullptr;
+  RdmaNak nak = RdmaNak::kNone;
+
+  bool ok() const noexcept { return nak == RdmaNak::kNone; }
+};
+
+/// Outcome of a one-sided read: either the data, or the NAK reason.
+struct RdmaGetResult {
+  RdmaNak nak = RdmaNak::kNone;
+  std::vector<std::byte> data;
+
+  bool ok() const noexcept { return nak == RdmaNak::kNone; }
+};
+
+/// Outcome of a one-sided write (local completion).
+struct RdmaPutResult {
+  RdmaNak nak = RdmaNak::kNone;
+
+  bool ok() const noexcept { return nak == RdmaNak::kNone; }
 };
 
 /// Target-side services, implemented by the runtime. Handlers are invoked
@@ -73,11 +119,11 @@ class AmTarget {
                                    std::uint64_t offset,
                                    std::vector<std::byte>&& data) = 0;
 
-  /// Validated pointer for the RDMA engine. Returns nullptr when
-  /// [addr, addr+len) is valid memory but not currently pinned (the
+  /// Validated window for the RDMA engine. Returns RdmaNak::kNotPinned
+  /// when [addr, addr+len) is valid memory but not currently pinned (the
   /// operation is NAKed and the initiator must fall back to the AM path);
   /// throws RdmaProtocolError when the address range itself is bogus.
-  virtual std::byte* rdma_memory(NodeId target, Addr addr,
+  virtual RdmaWindow rdma_memory(NodeId target, Addr addr,
                                  std::size_t len) = 0;
 };
 
@@ -92,6 +138,18 @@ struct TransportStats {
   std::uint64_t rdma_naks = 0;
   std::uint64_t control_msgs = 0;
   std::uint64_t wire_bytes = 0;
+
+  // Reliability layer (docs/FAULTS.md). All zero unless a FaultPlan is
+  // enabled, except bounce_fallbacks, which also covers registration
+  // requests larger than the whole DMAable budget.
+  std::uint64_t retransmits = 0;      ///< legs re-sent after loss/corruption
+  std::uint64_t timeouts = 0;         ///< retransmission budget exhausted
+  std::uint64_t dropped_msgs = 0;     ///< legs silently lost in transit
+  std::uint64_t corrupt_msgs = 0;     ///< legs discarded by checksum
+  std::uint64_t duplicate_msgs = 0;   ///< late copies suppressed by seqno
+  std::uint64_t backoff_ns = 0;       ///< simulated time spent in RTO waits
+  std::uint64_t nic_stall_waits = 0;  ///< injections delayed by a stall
+  std::uint64_t bounce_fallbacks = 0; ///< transfers staged via bounce bufs
 };
 
 /// Identifies the initiating UPC thread's seat in the machine.
@@ -121,19 +179,18 @@ class Transport {
                       PutAckHook on_ack);
 
   /// One-sided RDMA read of [raddr, raddr+len) at `dst` (Fig. 3b).
-  /// Returns nullopt when the target NAKs the window (memory no longer
-  /// pinned); the caller invalidates its cache entry and falls back.
-  sim::Task<std::optional<std::vector<std::byte>>> rdma_get(Initiator from,
-                                                            NodeId dst,
-                                                            Addr raddr,
-                                                            std::uint32_t len);
+  /// Returns RdmaNak::kNotPinned when the target NAKs the window (memory
+  /// no longer pinned); the caller invalidates its cache entry and falls
+  /// back to the AM path.
+  sim::Task<RdmaGetResult> rdma_get(Initiator from, NodeId dst, Addr raddr,
+                                    std::uint32_t len);
 
   /// One-sided RDMA write; completes at local completion, `on_done` fires
-  /// when the data has landed in target memory. Returns false (NAK) when
-  /// the target window is not pinned; `on_done` does not fire then.
-  sim::Task<bool> rdma_put(Initiator from, NodeId dst, Addr raddr,
-                           std::vector<std::byte> data,
-                           std::function<void()> on_done);
+  /// when the data has landed in target memory. Returns a NAK when the
+  /// target window is not pinned; `on_done` does not fire then.
+  sim::Task<RdmaPutResult> rdma_put(Initiator from, NodeId dst, Addr raddr,
+                                    std::vector<std::byte> data,
+                                    std::function<void()> on_done);
 
   /// Small control AM (SVD maintenance, lock protocol). Completes when the
   /// message has been handled at the target.
@@ -173,6 +230,21 @@ class Transport {
   TransportStats stats_;
 
  private:
+  // --- reliability layer (docs/FAULTS.md) ---
+  /// One wire traversal src -> dst under the machine's fault plan: waits
+  /// out any NIC stall window at the source, stamps the message with the
+  /// link's next sequence number, draws a transmit verdict, and on loss or
+  /// corruption waits the capped-exponential RTO and re-injects on
+  /// `retx_nic` (re-charging `retx_cost` and counting `retx_bytes` on the
+  /// wire again) until delivery. Throws TransportTimeout after
+  /// FaultParams::max_retransmits. With the null plan this is exactly one
+  /// latency delay — no extra events, no extra cost.
+  sim::Task<void> deliver(NodeId src, NodeId dst, sim::Resource* retx_nic,
+                          sim::Duration retx_cost, std::uint64_t retx_bytes);
+  /// Target-side handler service time scaled by any active NodeSlowdown
+  /// window (identity when no plan is enabled).
+  sim::Duration scaled(NodeId node, sim::Duration d) const;
+
   sim::Task<GetReply> get_eager(Initiator from, NodeId dst, GetRequest req);
   sim::Task<GetReply> get_rendezvous(Initiator from, NodeId dst,
                                      GetRequest req);
@@ -188,6 +260,21 @@ class Transport {
   sim::Task<void> put_payload_remote(Initiator from, NodeId dst,
                                      PutRequest req, PutAck ack,
                                      PutAckHook on_ack);
+  // Detached landing half of an accepted rdma_put.
+  sim::Task<void> rdma_put_landing(Initiator from, NodeId dst,
+                                   std::byte* dst_mem,
+                                   std::vector<std::byte> data,
+                                   std::function<void()> on_done);
+
+  /// Per-link sequence bookkeeping, used only when a fault plan is
+  /// enabled: the sender stamps every message, retransmitted copies reuse
+  /// the stamp, and the receiver discards any copy at or below its
+  /// delivered high-water mark (duplicate suppression).
+  struct LinkSeq {
+    std::uint64_t next_seq = 0;       ///< sender-side stamp counter
+    std::uint64_t delivered_hwm = 0;  ///< highest delivered seq + 1
+  };
+  std::map<std::uint64_t, LinkSeq> link_seq_;  // keyed (src << 32) | dst
 };
 
 /// Myrinet/GM transport (paper Sec. 3.3): handlers run on the target

@@ -1,0 +1,95 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xlupc::sim {
+namespace {
+
+// splitmix64 finalizer — mixes the plan seed with a stream key so every
+// link/node gets an independent, order-insensitive substream.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng& FaultPlan::link_rng(std::uint32_t src, std::uint32_t dst) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    it = links_.emplace(key, Rng(mix(params_.seed ^ mix(key)))).first;
+  }
+  return it->second;
+}
+
+Rng& FaultPlan::node_rng(std::uint32_t node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    // Offset the key space so node streams never collide with the
+    // (src=0, dst=node) link streams.
+    const std::uint64_t key = 0xfff0000000000000ull | node;
+    it = nodes_.emplace(node, Rng(mix(params_.seed ^ mix(key)))).first;
+  }
+  return it->second;
+}
+
+FaultPlan::Verdict FaultPlan::transmit(std::uint32_t src, std::uint32_t dst) {
+  if (!enabled_) return Verdict::kDeliver;
+  Rng& rng = link_rng(src, dst);
+  // One draw per attempt keeps the stream consumption independent of
+  // which probabilities are configured.
+  const double u = rng.uniform();
+  if (u < params_.drop_prob) return Verdict::kDrop;
+  if (u < params_.drop_prob + params_.corrupt_prob) return Verdict::kCorrupt;
+  return Verdict::kDeliver;
+}
+
+bool FaultPlan::late_duplicate(std::uint32_t src, std::uint32_t dst) {
+  if (!enabled_ || params_.dup_prob <= 0.0) return false;
+  return link_rng(src, dst).chance(params_.dup_prob);
+}
+
+bool FaultPlan::pin_fails(std::uint32_t node) {
+  if (!enabled_ || params_.pin_fail_prob <= 0.0) return false;
+  return node_rng(node).chance(params_.pin_fail_prob);
+}
+
+Duration FaultPlan::rto_after(std::uint32_t attempt) const {
+  double rto = static_cast<double>(params_.rto);
+  const double cap = static_cast<double>(params_.rto_cap);
+  for (std::uint32_t i = 0; i < attempt && rto < cap; ++i) {
+    rto *= params_.rto_backoff;
+  }
+  return static_cast<Duration>(std::min(rto, cap));
+}
+
+Duration FaultPlan::stall_remaining(std::uint32_t node, Time now) const {
+  if (!enabled_) return 0;
+  Duration remaining = 0;
+  for (const NicStallWindow& w : params_.nic_stalls) {
+    if (w.node != node) continue;
+    if (now >= w.start && now < w.start + w.length) {
+      remaining = std::max(remaining, w.start + w.length - now);
+    }
+  }
+  return remaining;
+}
+
+double FaultPlan::slowdown(std::uint32_t node, Time now) const {
+  if (!enabled_) return 1.0;
+  double factor = 1.0;
+  for (const NodeSlowdown& w : params_.slowdowns) {
+    if (w.node != node) continue;
+    if (now >= w.start && now < w.start + w.length) {
+      factor = std::max(factor, w.factor);
+    }
+  }
+  return factor;
+}
+
+}  // namespace xlupc::sim

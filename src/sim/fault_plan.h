@@ -1,0 +1,123 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A FaultPlan is a seeded, replayable description of everything that can
+// go wrong underneath the transports: per-link message drop/corruption,
+// late duplicates, transient registration (pin) failures, NIC stall
+// windows and scheduled node slowdowns. Every random decision is drawn
+// from a per-link (or per-node) xoshiro stream derived from the plan
+// seed, so a run with a given FaultParams is byte-for-byte reproducible
+// — the same seed produces the same drops at the same simulated
+// instants, and therefore the same RunReport (docs/FAULTS.md).
+//
+// A default-constructed (or all-zero) plan is *disabled*: the transports
+// skip every fault check without consuming randomness or scheduling
+// extra events, so fault-free runs stay byte-identical to builds that
+// predate the fault layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace xlupc::sim {
+
+/// A window during which a node's NIC makes no progress: messages
+/// injected while the window is open wait until it closes.
+struct NicStallWindow {
+  std::uint32_t node = 0;
+  Time start = 0;       ///< window opens (simulated ns)
+  Duration length = 0;  ///< window duration
+};
+
+/// A window during which a node's CPUs run slow: target-side handler
+/// work (dispatch, SVD lookup, copies) is multiplied by `factor`.
+struct NodeSlowdown {
+  std::uint32_t node = 0;
+  Time start = 0;
+  Duration length = 0;
+  double factor = 1.0;  ///< >= 1; 2.0 doubles handler service time
+};
+
+/// Schema of a fault plan (docs/FAULTS.md). All probabilities are per
+/// message-leg transmission; zero everywhere (the default) disables the
+/// plan entirely.
+struct FaultParams {
+  std::uint64_t seed = 0;  ///< stream seed; same seed => same faults
+
+  // --- message-level faults ---
+  double drop_prob = 0.0;     ///< leg silently lost in transit
+  double corrupt_prob = 0.0;  ///< leg arrives but fails its checksum
+  /// Probability that a message counted as lost was merely delayed: the
+  /// retransmission succeeds first and the late original arrives as a
+  /// duplicate, which the receiver's sequence-number window suppresses.
+  double dup_prob = 0.0;
+
+  // --- memory-registration faults ---
+  double pin_fail_prob = 0.0;  ///< transient per-pin registration failure
+
+  // --- recovery policy (ACK/timeout/retransmit) ---
+  Duration rto = us(40.0);        ///< base retransmission timeout
+  double rto_backoff = 2.0;       ///< exponential backoff factor
+  Duration rto_cap = us(640.0);   ///< backoff ceiling
+  std::uint32_t max_retransmits = 16;  ///< then TransportTimeout is thrown
+
+  // --- scheduled hardware degradation ---
+  std::vector<NicStallWindow> nic_stalls;
+  std::vector<NodeSlowdown> slowdowns;
+
+  /// True when any fault source is configured (a bare nonzero seed with
+  /// all probabilities zero and no windows is still a no-fault plan).
+  bool any() const noexcept {
+    return drop_prob > 0.0 || corrupt_prob > 0.0 || dup_prob > 0.0 ||
+           pin_fail_prob > 0.0 || !nic_stalls.empty() || !slowdowns.empty();
+  }
+};
+
+class FaultPlan {
+ public:
+  /// Null plan: enabled() is false and every query is a cheap constant.
+  FaultPlan() = default;
+  explicit FaultPlan(FaultParams params)
+      : params_(std::move(params)), enabled_(params_.any()) {}
+
+  bool enabled() const noexcept { return enabled_; }
+  const FaultParams& params() const noexcept { return params_; }
+
+  /// Fate of one transmission attempt on the src -> dst link. Verdicts
+  /// are drawn from the link's private stream, so the sequence each link
+  /// sees depends only on the seed and that link's own traffic order.
+  enum class Verdict : std::uint8_t { kDeliver, kDrop, kCorrupt };
+  Verdict transmit(std::uint32_t src, std::uint32_t dst);
+
+  /// Consulted after a recovered loss: did the "lost" original arrive
+  /// late as a duplicate (to be suppressed by the sequence window)?
+  bool late_duplicate(std::uint32_t src, std::uint32_t dst);
+
+  /// Transient registration failure on `node` (per pin attempt).
+  bool pin_fails(std::uint32_t node);
+
+  /// Retransmission timeout before attempt `attempt` (0-based), with
+  /// capped exponential backoff: min(rto * backoff^attempt, rto_cap).
+  Duration rto_after(std::uint32_t attempt) const;
+
+  /// Remaining stall time if `node`'s NIC is inside a stall window at
+  /// `now` (0 when no window is open).
+  Duration stall_remaining(std::uint32_t node, Time now) const;
+
+  /// Handler-service-time multiplier for `node` at `now` (1.0 normally).
+  double slowdown(std::uint32_t node, Time now) const;
+
+ private:
+  Rng& link_rng(std::uint32_t src, std::uint32_t dst);
+  Rng& node_rng(std::uint32_t node);
+
+  FaultParams params_;
+  bool enabled_ = false;
+  std::map<std::uint64_t, Rng> links_;   // keyed (src << 32) | dst
+  std::map<std::uint32_t, Rng> nodes_;
+};
+
+}  // namespace xlupc::sim

@@ -286,5 +286,46 @@ TEST(RegistrationCache, OverlappingReRegistrationStaysConsistent) {
   EXPECT_EQ(rc.resident_bytes(), 2048u);
 }
 
+TEST(RegistrationCache, RegionLargerThanBudgetBounces) {
+  // Regression: a region wider than the whole DMAable budget used to be
+  // registered anyway, silently overshooting the OS cap. It must bounce
+  // instead (caller stages through bounce buffers) without registering.
+  RegistrationCache rc(8 * 1024);
+  auto r = rc.ensure(node_base(0), 16 * 1024);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.bounced);
+  EXPECT_EQ(r.registered, 0u);
+  EXPECT_EQ(rc.resident_bytes(), 0u);
+  EXPECT_EQ(rc.region_count(), 0u);
+  EXPECT_EQ(rc.bounces(), 1u);
+  // Bounced transfers never enter the cache: a repeat bounces again.
+  EXPECT_TRUE(rc.ensure(node_base(0), 16 * 1024).bounced);
+  EXPECT_EQ(rc.bounces(), 2u);
+  // A fitting region still registers normally afterwards.
+  EXPECT_FALSE(rc.ensure(node_base(0), 4 * 1024).bounced);
+  EXPECT_EQ(rc.resident_bytes(), 4 * 1024u);
+  rc.reset_counters();
+  EXPECT_EQ(rc.bounces(), 0u);
+  EXPECT_EQ(rc.resident_bytes(), 4 * 1024u);  // residency survives reset
+}
+
+TEST(PinnedTableChunked, CapEvictionCounterTracksAndResets) {
+  // Evictions forced by the total-budget cap are counted separately
+  // (reliability.forced_evictions) and zeroed by reset_counters().
+  PinLimits limits;
+  limits.max_total_bytes = 2 * kPinChunkBytes;
+  PinnedAddressTable t(PinStrategy::kChunked, limits);
+  const Addr base = node_base(0);
+  t.pin(base + 0 * kPinChunkBytes, 1);
+  t.pin(base + 1 * kPinChunkBytes, 1);
+  EXPECT_EQ(t.total_cap_evictions(), 0u);
+  t.pin(base + 2 * kPinChunkBytes, 1);  // budget full -> evict LRU
+  EXPECT_EQ(t.total_cap_evictions(), 1u);
+  EXPECT_EQ(t.total_deregistrations(), 1u);
+  t.reset_counters();
+  EXPECT_EQ(t.total_cap_evictions(), 0u);
+  EXPECT_EQ(t.total_deregistrations(), 0u);
+}
+
 }  // namespace
 }  // namespace xlupc::mem

@@ -49,15 +49,19 @@ class Target : public AmTarget {
     std::memcpy(store_[target].data() + offset, data.data(), data.size());
   }
   void serve_control(NodeId, NodeId, const ControlMsg&) override {}
-  std::byte* rdma_memory(NodeId target, Addr addr, std::size_t len) override {
+  RdmaWindow rdma_memory(NodeId target, Addr addr, std::size_t len) override {
     if (addr < base(target) || addr + len > base(target) + bytes_) {
       throw RdmaProtocolError("bad address");
     }
-    return store_[target].data() + (addr - base(target));
+    if (!pinned_) return RdmaWindow{nullptr, RdmaNak::kNotPinned};
+    return RdmaWindow{store_[target].data() + (addr - base(target)),
+                      RdmaNak::kNone};
   }
+  void set_pinned(bool v) { pinned_ = v; }
 
  private:
   std::size_t bytes_;
+  bool pinned_ = true;
   std::map<NodeId, std::vector<std::byte>> store_;
 };
 
@@ -175,6 +179,37 @@ TEST(Protocol, RegistrationCacheInvalidationForcesReRegistration) {
   rig.transport->reg_cache_mut(1).invalidate(rig.target.base(1), big);
   run_get(rig, big);
   EXPECT_EQ(rig.transport->reg_cache(1).misses(), misses_before + 1);
+}
+
+TEST(Protocol, RdmaNakIsDistinctFromProtocolError) {
+  // An unpinned-but-valid window is a recoverable NAK carried in the
+  // result type; a bogus address is a protocol violation and throws.
+  // Callers must never be able to confuse the two.
+  Rig rig(mare_nostrum_gm());
+  rig.target.set_pinned(false);
+  RdmaGetResult get_res;
+  RdmaPutResult put_res;
+  rig.sim.spawn([](Rig& r, RdmaGetResult& g, RdmaPutResult& p) -> sim::Task<> {
+    g = co_await r.transport->rdma_get({0, 0}, 1, r.target.base(1), 64);
+    std::vector<std::byte> data(64, std::byte{0x2a});
+    p = co_await r.transport->rdma_put({0, 0}, 1, r.target.base(1),
+                                       std::move(data), {});
+  }(rig, get_res, put_res));
+  rig.sim.run();
+  EXPECT_FALSE(get_res.ok());
+  EXPECT_EQ(get_res.nak, RdmaNak::kNotPinned);
+  EXPECT_TRUE(get_res.data.empty());
+  EXPECT_FALSE(put_res.ok());
+  EXPECT_EQ(put_res.nak, RdmaNak::kNotPinned);
+  EXPECT_EQ(rig.transport->stats().rdma_naks, 2u);
+
+  // Bogus address: throws regardless of pin state — not reported as NAK.
+  Rig bad(mare_nostrum_gm());
+  bad.sim.spawn([](Rig& r) -> sim::Task<> {
+    (void)co_await r.transport->rdma_get({0, 0}, 1, 0x2, 8);
+  }(bad));
+  EXPECT_THROW(bad.sim.run(), RdmaProtocolError);
+  EXPECT_EQ(bad.transport->stats().rdma_naks, 0u);
 }
 
 TEST(Protocol, ConcurrentGetsToOneLapiNodeOverlapOnCommPool) {

@@ -142,12 +142,13 @@ class FakeTarget : public AmTarget {
     ++controls_served;
   }
 
-  std::byte* rdma_memory(NodeId target, Addr addr, std::size_t len) override {
+  RdmaWindow rdma_memory(NodeId target, Addr addr, std::size_t len) override {
     if (addr < base(target) || addr + len > base(target) + bytes_) {
       throw RdmaProtocolError("bad address");
     }
-    if (!pinned_) return nullptr;
-    return store_[target].data() + (addr - base(target));
+    if (!pinned_) return RdmaWindow{nullptr, RdmaNak::kNotPinned};
+    return RdmaWindow{store_[target].data() + (addr - base(target)),
+                      RdmaNak::kNone};
   }
 
   int gets_served = 0;
@@ -263,7 +264,7 @@ TEST(Transport, RdmaGetBypassesTargetCpuAndIsFaster) {
     auto r = co_await fx.transport->rdma_get({0, 0}, 1,
                                              fx.target.base(1), 8);
     b = fx.sim.now();
-    o = std::move(*r);
+    o = std::move(r.data);
   }(f, got, t0, t1));
   f.sim.run();
   EXPECT_LT(t1 - t0, am);
@@ -277,7 +278,7 @@ TEST(Transport, RdmaGetNakWhenUnpinned) {
   bool naked = false;
   f.sim.spawn([](Fixture& fx, bool& nak) -> sim::Task<> {
     auto r = co_await fx.transport->rdma_get({0, 0}, 1, fx.target.base(1), 8);
-    nak = !r.has_value();
+    nak = !r.ok() && r.nak == RdmaNak::kNotPinned;
   }(f, naked));
   f.sim.run();
   EXPECT_TRUE(naked);
@@ -332,8 +333,9 @@ TEST(Transport, RdmaPutWritesMemoryAndSignalsDone) {
   bool ok = false;
   f.sim.spawn([](Fixture& fx, bool& d, bool& o) -> sim::Task<> {
     std::vector<std::byte> data(16, std::byte{0x77});
-    o = co_await fx.transport->rdma_put({0, 0}, 1, fx.target.base(1) + 8,
-                                        std::move(data), [&d] { d = true; });
+    o = (co_await fx.transport->rdma_put({0, 0}, 1, fx.target.base(1) + 8,
+                                         std::move(data), [&d] { d = true; }))
+            .ok();
   }(f, done, ok));
   f.sim.run();
   EXPECT_TRUE(ok);
@@ -349,8 +351,11 @@ TEST(Transport, RdmaPutNakWhenUnpinned) {
   bool ok = true;
   f.sim.spawn([](Fixture& fx, bool& d, bool& o) -> sim::Task<> {
     std::vector<std::byte> data(16, std::byte{0x77});
-    o = co_await fx.transport->rdma_put({0, 0}, 1, fx.target.base(1),
-                                        std::move(data), [&d] { d = true; });
+    const auto r = co_await fx.transport->rdma_put({0, 0}, 1, fx.target.base(1),
+                                                   std::move(data),
+                                                   [&d] { d = true; });
+    o = r.ok();
+    EXPECT_EQ(r.nak, RdmaNak::kNotPinned);
   }(f, done, ok));
   f.sim.run();
   EXPECT_FALSE(ok);

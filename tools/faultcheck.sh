@@ -1,0 +1,40 @@
+#!/bin/sh
+# Fault-injection determinism check (docs/FAULTS.md).
+#
+# Runs the fault_sweep benchmark twice with the same nonzero seed and
+# verifies that
+#   1. the two --json reports are byte-identical (replayability), and
+#   2. the reports show actual recovery work: nonzero
+#      reliability.retransmits and reliability.rdma_nak_fallbacks.
+#
+# Usage: tools/faultcheck.sh <path-to-fault_sweep-binary> [seed]
+set -eu
+
+bin=${1:?usage: faultcheck.sh <fault_sweep-binary> [seed]}
+seed=${2:-42}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$bin" --seed "$seed" --json "$tmpdir/a.json" > "$tmpdir/a.txt"
+"$bin" --seed "$seed" --json "$tmpdir/b.json" > "$tmpdir/b.txt"
+
+if ! cmp -s "$tmpdir/a.json" "$tmpdir/b.json"; then
+  echo "faultcheck: --json reports differ across same-seed runs" >&2
+  diff "$tmpdir/a.json" "$tmpdir/b.json" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$tmpdir/a.txt" "$tmpdir/b.txt"; then
+  echo "faultcheck: table output differs across same-seed runs" >&2
+  diff "$tmpdir/a.txt" "$tmpdir/b.txt" >&2 || true
+  exit 1
+fi
+
+for counter in reliability.retransmits reliability.rdma_nak_fallbacks; do
+  if ! grep -Eq "\"$counter\": *[1-9]" "$tmpdir/a.json"; then
+    echo "faultcheck: expected nonzero $counter in the report" >&2
+    exit 1
+  fi
+done
+
+echo "faultcheck: seed $seed replays byte-identically with recovery work"
