@@ -5,6 +5,7 @@
 // Calibration anchors from the paper: small-message roundtrips in the
 // 4-8 us range on both networks; uncached 8 KB GET on GM around 65 us.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "benchsupport/microbench.h"
@@ -17,11 +18,14 @@ using bench::fmt;
 
 namespace {
 
+std::uint64_t g_seed = 1;  ///< --seed; default matches RuntimeConfig
+
 bench::MicroResult measure(const net::PlatformParams& platform, bool cached,
                            std::size_t size) {
   core::RuntimeConfig cfg;
   cfg.platform = platform;
   cfg.cache.enabled = cached;
+  cfg.seed = g_seed;
   return bench::measure_op(std::move(cfg), bench::Op::kGet, {size, 4, 12});
 }
 
@@ -29,6 +33,11 @@ bench::MicroResult measure(const net::PlatformParams& platform, bool cached,
 
 int main(int argc, char** argv) {
   bench::Reporter rep("fig7_small_get_latency", argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      g_seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
   std::printf(
       "Figure 7: GET latency (us) with and without the address cache,\n"
       "short message sizes\n\n");
@@ -56,6 +65,7 @@ int main(int argc, char** argv) {
   core::RuntimeConfig rep_cfg;
   rep_cfg.platform = gm;
   rep_cfg.cache.enabled = true;
+  rep_cfg.seed = g_seed;
   rep.config(rep_cfg);
   rep.config("sizes_bytes", bench::Json::str("1..8192 (powers of two)"));
   rep.config("metrics_run", bench::Json::str("GM cached 8B GET"));

@@ -1,0 +1,326 @@
+#include "core/access_path.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "core/runtime.h"
+
+namespace xlupc::core {
+
+using sim::Duration;
+using sim::Task;
+
+// ===================================================== tier dispatch ===
+
+Task<void> AccessPath::get_span(UpcThread& th, const ArrayDesc& a,
+                                Layout::Loc loc, std::span<std::byte> dst) {
+  const auto& p = rt_.cfg_.platform;
+  const Layout& layout = *a.layout;
+  const NodeId owner = layout.node_of(loc.thread);
+  const std::uint64_t node_off = layout.node_offset(loc);
+  const std::uint32_t len = static_cast<std::uint32_t>(dst.size());
+  const sim::Time t_start = rt_.sim_.now();
+  auto trace = [&](TracePath path) {
+    rt_.tracer_.record(
+        TraceEvent{th.id(), TraceOp::kGet, path, owner, len, t_start,
+                   rt_.sim_.now()});
+  };
+
+  if (owner == th.node()) {
+    // Shared-local access: SVD translation is a local lookup; data moves
+    // over the node's memory system, no network involved.
+    const bool same_thread = loc.thread == th.id();
+    Duration cost = same_thread ? p.local_access : p.shm_latency;
+    cost += sim::transfer_time(len, p.shm_copy_bw);
+    co_await rt_.machine_.core(th.node(), th.core()).use(cost);
+    const Addr addr = rt_.local_translate(owner, a.handle, node_off, len);
+    rt_.node(owner).space->read(addr, dst);
+    if (same_thread) {
+      ++rt_.counters_.local_gets;
+      trace(TracePath::kLocal);
+    } else {
+      ++rt_.counters_.shm_gets;
+      trace(TracePath::kShm);
+    }
+    co_return;
+  }
+
+  const net::Initiator from{th.node(), th.core()};
+  const bool use_cache = rt_.cfg_.cache.enabled;
+  const CacheKey key = rt_.make_key(a, owner, node_off);
+
+  if (use_cache) {
+    co_await rt_.machine_.core(th.node(), th.core()).use(p.cache_lookup);
+    if (auto info = rt_.node(th.node()).cache->lookup(key)) {
+      const Addr raddr = info->base + node_off;
+      if (len > p.rdma_bounce_limit) {
+        // Zero-copy into the user buffer: it must be registered locally.
+        co_await rt_.transport_->ensure_local_registered(
+            from, static_cast<Addr>(reinterpret_cast<std::uintptr_t>(
+                      dst.data())),
+            len);
+      }
+      auto res = co_await rt_.transport_->rdma_get(from, owner, raddr, len);
+      if (res.ok()) {
+        if (len <= p.rdma_bounce_limit) {
+          // Landed in a preregistered bounce buffer; copy out on the CPU.
+          co_await rt_.machine_.core(th.node(), th.core())
+              .use(p.copy_time(len));
+        }
+        std::memcpy(dst.data(), res.data.data(), len);
+        ++rt_.counters_.rdma_gets;
+        trace(TracePath::kRdma);
+        co_return;
+      }
+      // NAK: the target no longer pins that window. Invalidate and fall
+      // back to the default path (which will re-populate the cache).
+      rt_.node(th.node()).cache->invalidate(key);
+      ++rt_.counters_.rdma_naks;
+    }
+  }
+
+  // Default SVD path (Fig. 3a): AM request, target-side translation, the
+  // reply piggybacks the base address when caching is on.
+  net::GetRequest req;
+  req.svd_handle = a.handle.pack();
+  req.offset = node_off;
+  req.len = len;
+  req.want_base = use_cache;
+  req.target_core = layout.core_of(loc.thread);
+  req.local_buf =
+      static_cast<Addr>(reinterpret_cast<std::uintptr_t>(dst.data()));
+  auto reply = co_await rt_.transport_->get(from, owner, std::move(req));
+  if (reply.base && use_cache) {
+    co_await rt_.machine_.core(th.node(), th.core()).use(p.cache_update);
+    rt_.node(th.node()).cache->insert(key, *reply.base);
+  }
+  std::memcpy(dst.data(), reply.data.data(), len);
+  ++rt_.counters_.am_gets;
+  trace(TracePath::kAm);
+}
+
+Task<void> AccessPath::put_span(UpcThread& th, const ArrayDesc& a,
+                                Layout::Loc loc,
+                                std::span<const std::byte> src) {
+  const auto& p = rt_.cfg_.platform;
+  const Layout& layout = *a.layout;
+  const NodeId owner = layout.node_of(loc.thread);
+  const std::uint64_t node_off = layout.node_offset(loc);
+  const std::uint32_t len = static_cast<std::uint32_t>(src.size());
+  const sim::Time t_start = rt_.sim_.now();
+  auto trace = [&](TracePath path) {
+    rt_.tracer_.record(
+        TraceEvent{th.id(), TraceOp::kPut, path, owner, len, t_start,
+                   rt_.sim_.now()});
+  };
+
+  if (owner == th.node()) {
+    const bool same_thread = loc.thread == th.id();
+    Duration cost = same_thread ? p.local_access : p.shm_latency;
+    cost += sim::transfer_time(len, p.shm_copy_bw);
+    co_await rt_.machine_.core(th.node(), th.core()).use(cost);
+    const Addr addr = rt_.local_translate(owner, a.handle, node_off, len);
+    rt_.node(owner).space->write(addr, src);
+    if (same_thread) {
+      ++rt_.counters_.local_puts;
+      trace(TracePath::kLocal);
+    } else {
+      ++rt_.counters_.shm_puts;
+      trace(TracePath::kShm);
+    }
+    co_return;
+  }
+
+  const net::Initiator from{th.node(), th.core()};
+  const bool cache_on = rt_.put_cache_enabled();
+  Runtime* rt = &rt_;
+
+  if (cache_on) {
+    const CacheKey key = rt_.make_key(a, owner, node_off);
+    co_await rt_.machine_.core(th.node(), th.core()).use(p.cache_lookup);
+    if (auto info = rt_.node(th.node()).cache->lookup(key)) {
+      const Addr raddr = info->base + node_off;
+      if (len <= p.rdma_bounce_limit) {
+        // Stage into a preregistered bounce buffer.
+        co_await rt_.machine_.core(th.node(), th.core()).use(p.copy_time(len));
+      } else {
+        co_await rt_.transport_->ensure_local_registered(
+            from, static_cast<Addr>(reinterpret_cast<std::uintptr_t>(
+                      src.data())),
+            len);
+      }
+      rt_.note_put_issued(th);
+      const ThreadId tid = th.id();
+      const auto res = co_await rt_.transport_->rdma_put(
+          from, owner, raddr, {src.begin(), src.end()},
+          [rt, tid] { rt->note_put_completed(tid); });
+      if (res.ok()) {
+        ++rt_.counters_.rdma_puts;
+        trace(TracePath::kRdma);
+        co_return;
+      }
+      rt_.note_put_completed(th.id());  // nothing was issued
+      rt_.node(th.node()).cache->invalidate(key);
+      ++rt_.counters_.rdma_naks;
+    }
+  }
+
+  net::PutRequest req;
+  req.svd_handle = a.handle.pack();
+  req.offset = node_off;
+  req.data.assign(src.begin(), src.end());
+  req.want_base = cache_on;
+  req.target_core = layout.core_of(loc.thread);
+  req.local_buf =
+      static_cast<Addr>(reinterpret_cast<std::uintptr_t>(src.data()));
+  rt_.note_put_issued(th);
+  const ThreadId tid = th.id();
+  const CacheKey key = rt_.make_key(a, owner, node_off);
+  const NodeId my_node = th.node();
+  co_await rt_.transport_->put(
+      from, owner, std::move(req),
+      [rt, tid, key, my_node, cache_on](const net::PutAck& ack) {
+        if (ack.base && cache_on) {
+          rt->node(my_node).cache->insert(key, *ack.base);
+        }
+        rt->note_put_completed(tid);
+      });
+  ++rt_.counters_.am_puts;
+  trace(TracePath::kAm);
+}
+
+Task<void> AccessPath::execute(UpcThread& th, CommOp op) {
+  const Layout& layout = *op.array.layout;
+  if (op.multi) {
+    // memget/memput: split the range at ownership boundaries, exactly as
+    // the blocking loops did (each piece is contiguous on its owner).
+    const std::uint64_t es = layout.elem_size();
+    std::uint64_t total = op.bytes / es;
+    std::uint64_t elem = op.elem;
+    std::size_t off = 0;
+    while (total > 0) {
+      const std::uint64_t run = std::min(total, layout.run_length(elem));
+      if (op.kind == OpKind::kGet) {
+        co_await get_span(th, op.array, layout.locate(elem),
+                          std::span<std::byte>(op.dst + off, run * es));
+      } else {
+        co_await put_span(th, op.array, layout.locate(elem),
+                          std::span<const std::byte>(op.src + off, run * es));
+      }
+      elem += run;
+      off += run * es;
+      total -= run;
+    }
+    co_return;
+  }
+  const Layout::Loc loc =
+      op.two_d ? layout.locate2d(op.row, op.col) : layout.locate(op.elem);
+  if (op.kind == OpKind::kGet) {
+    co_await get_span(th, op.array, loc,
+                      std::span<std::byte>(op.dst, op.bytes));
+  } else {
+    co_await put_span(th, op.array, loc,
+                      std::span<const std::byte>(op.src, op.bytes));
+  }
+}
+
+// ===================================================== completion ======
+
+OpHandle CompletionEngine::issue(CommOp op, bool deferred) {
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.gen = next_gen_++;
+  s.active = true;
+  s.deferred = deferred;
+  s.done = false;
+  s.op = std::move(op);
+  s.waiter.reset();
+  s.error = nullptr;
+  ++stats_.issued;
+  if (!deferred) {
+    ++outstanding_async_;
+    stats_.outstanding_hwm =
+        std::max(stats_.outstanding_hwm, outstanding_async_);
+    rt_.sim_.spawn(run_async(idx));
+  }
+  return OpHandle{idx, s.gen};
+}
+
+Task<void> CompletionEngine::run_async(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  try {
+    co_await rt_.path_.execute(th_, s.op);
+  } catch (...) {
+    s.error = std::current_exception();
+  }
+  s.done = true;
+  --outstanding_async_;
+  if (s.waiter) s.waiter->fire();
+}
+
+void CompletionEngine::retire(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.active = false;
+  s.waiter.reset();
+  s.op = CommOp{};
+  free_.push_back(idx);
+}
+
+Task<void> CompletionEngine::wait(OpHandle h) {
+  if (!h.valid() || h.slot >= slots_.size()) co_return;
+  if (!slots_[h.slot].active || slots_[h.slot].gen != h.gen) {
+    co_return;  // spent handle: wait is idempotent
+  }
+  if (slots_[h.slot].deferred) {
+    // Blocking wrapper: execute inline through the exact co_await chain
+    // the pre-engine runtime used — same events, same timing.
+    CommOp op = std::move(slots_[h.slot].op);
+    retire(h.slot);
+    co_await rt_.path_.execute(th_, std::move(op));
+    co_return;
+  }
+  Slot& s = slots_[h.slot];
+  if (!s.done) {
+    ++stats_.wait_stalls;
+    s.waiter = std::make_unique<sim::Trigger>(rt_.sim_);
+    co_await s.waiter->wait();
+  }
+  const std::exception_ptr err = s.error;
+  retire(h.slot);
+  if (err) std::rethrow_exception(err);
+}
+
+Task<void> CompletionEngine::wait_all() {
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].active) continue;
+    co_await wait(OpHandle{i, slots_[i].gen});
+  }
+}
+
+void CompletionEngine::note_put_completed() {
+  if (outstanding_puts_ == 0) {
+    throw std::logic_error("CompletionEngine: put completion without issue");
+  }
+  if (--outstanding_puts_ == 0 && fence_trigger_) {
+    fence_trigger_->fire();
+  }
+}
+
+Task<void> CompletionEngine::drain_puts() {
+  while (outstanding_puts_ > 0) {
+    fence_trigger_ = std::make_unique<sim::Trigger>(rt_.sim_);
+    co_await fence_trigger_->wait();
+    fence_trigger_.reset();
+  }
+}
+
+}  // namespace xlupc::core

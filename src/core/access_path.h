@@ -1,0 +1,159 @@
+// The communication engine: explicit CommOp descriptors, the tier
+// dispatch that serves them, and per-thread completion tracking for the
+// nonblocking surface (docs/COMM_ENGINE.md).
+//
+// Every data-movement call — blocking or nonblocking, 1-D or 2-D,
+// single-run or memget-style multi-run — is first captured as a CommOp
+// and issued to the thread's CompletionEngine. Blocking calls issue in
+// *deferred* mode: wait() then executes the op inline through the same
+// co_await chain the pre-engine runtime used, so blocking timing, event
+// counts and reports stay byte-identical. Nonblocking calls issue in
+// *async* mode: a runner coroutine is spawned at the current simulated
+// time and the caller keeps going, overlapping the op's network round
+// trip with its own work (the upc_memget_nb shape the paper's
+// pipelining argument rests on).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/api.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace xlupc::core {
+
+class Runtime;
+class UpcThread;
+
+enum class OpKind : std::uint8_t { kGet, kPut };
+
+/// One data-movement operation, fully described at issue time. For
+/// `multi` ops (memget/memput) the range is split at ownership
+/// boundaries at execution time, exactly as the blocking loops did.
+struct CommOp {
+  OpKind kind = OpKind::kGet;
+  ArrayDesc array;
+  std::uint64_t elem = 0;  ///< starting element (1-D linearization)
+  std::uint64_t row = 0;   ///< 2-D element access (two_d set)
+  std::uint64_t col = 0;
+  bool two_d = false;
+  bool multi = false;  ///< split at ownership runs (memget/memput)
+  std::byte* dst = nullptr;        ///< kGet destination
+  const std::byte* src = nullptr;  ///< kPut source
+  std::size_t bytes = 0;
+};
+
+/// Ticket for an issued operation. Handles are single-use: wait()
+/// retires the slot, after which the handle is spent (waiting again is a
+/// no-op). The generation counter guards against stale handles whose
+/// slot has been reused.
+struct OpHandle {
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+  std::uint32_t slot = kInvalidSlot;
+  std::uint64_t gen = 0;
+
+  bool valid() const noexcept { return slot != kInvalidSlot; }
+};
+
+/// Per-thread counters of the completion engine, folded into the
+/// MetricsRegistry as `comm.*` (summed across threads; the high-water
+/// mark takes the max).
+struct CommStats {
+  std::uint64_t issued = 0;       ///< ops issued (blocking and nonblocking)
+  std::uint64_t wait_stalls = 0;  ///< wait() calls that had to suspend
+  std::uint64_t outstanding_hwm = 0;  ///< max simultaneous async ops
+};
+
+/// Tier dispatch shared by every access: local / shm within the node,
+/// RDMA on an address-cache hit, default SVD Active-Message path
+/// otherwise. This is the code that used to live inside Runtime; it is
+/// policy-free with respect to blocking — the CompletionEngine decides
+/// *when* an op executes, AccessPath decides *how*.
+class AccessPath {
+ public:
+  explicit AccessPath(Runtime& rt) : rt_(rt) {}
+  AccessPath(const AccessPath&) = delete;
+  AccessPath& operator=(const AccessPath&) = delete;
+
+  /// Serve one CommOp to completion (local completion for PUTs; remote
+  /// completion is tracked by the thread's CompletionEngine for fence).
+  sim::Task<void> execute(UpcThread& th, CommOp op);
+
+  /// The tier dispatch for one contiguous span (never crosses an
+  /// ownership boundary).
+  sim::Task<void> get_span(UpcThread& th, const ArrayDesc& a, Layout::Loc loc,
+                           std::span<std::byte> dst);
+  sim::Task<void> put_span(UpcThread& th, const ArrayDesc& a, Layout::Loc loc,
+                           std::span<const std::byte> src);
+
+ private:
+  Runtime& rt_;
+};
+
+/// Per-thread completion bookkeeping: op slots for the nonblocking
+/// surface plus the PUT remote-completion counter fence() drains. One
+/// engine per UpcThread; all calls must come from that thread's own
+/// coroutine body.
+class CompletionEngine {
+ public:
+  CompletionEngine(Runtime& rt, UpcThread& th) : rt_(rt), th_(th) {}
+  CompletionEngine(const CompletionEngine&) = delete;
+  CompletionEngine& operator=(const CompletionEngine&) = delete;
+
+  /// Record `op` in a fresh slot. Deferred ops execute inside wait()
+  /// (blocking wrappers); async ops start a runner coroutine at the
+  /// current simulated time and overlap with the caller.
+  OpHandle issue(CommOp op, bool deferred);
+
+  /// Complete the op behind `h`: execute it inline if deferred, suspend
+  /// until the runner finishes if async (rethrowing any error it hit).
+  /// Retires the slot; waiting on a spent or invalid handle is a no-op.
+  sim::Task<void> wait(OpHandle h);
+
+  /// wait() every live handle of this thread, oldest slot first.
+  sim::Task<void> wait_all();
+
+  /// PUT remote-completion tracking (fence checkpoint semantics).
+  void note_put_issued() { ++outstanding_puts_; }
+  void note_put_completed();
+  sim::Task<void> drain_puts();
+
+  std::uint64_t outstanding() const noexcept { return outstanding_async_; }
+  const CommStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = CommStats{}; }
+
+ private:
+  struct Slot {
+    std::uint64_t gen = 0;
+    bool active = false;
+    bool deferred = false;
+    bool done = false;
+    CommOp op;
+    std::unique_ptr<sim::Trigger> waiter;
+    std::exception_ptr error;
+  };
+
+  sim::Task<void> run_async(std::uint32_t idx);
+  void retire(std::uint32_t idx);
+
+  Runtime& rt_;
+  UpcThread& th_;
+  // deque: Slot references stay stable across the co_awaits in
+  // run_async/wait while new slots are issued.
+  std::deque<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::uint64_t next_gen_ = 1;
+  std::uint64_t outstanding_async_ = 0;
+  CommStats stats_;
+
+  // PUT remote-completion tracking for fence()/drain_puts().
+  std::uint64_t outstanding_puts_ = 0;
+  std::unique_ptr<sim::Trigger> fence_trigger_;
+};
+
+}  // namespace xlupc::core

@@ -2,6 +2,7 @@
 // into the Simulator's MetricsRegistry and snapshotting the RunReport.
 #include "core/run_report.h"
 
+#include <algorithm>
 #include <string>
 
 #include "core/runtime.h"
@@ -92,17 +93,26 @@ RunReport Runtime::metrics() {
   reg.set("pin.pinned_bytes", pinned_bytes);
   reg.set("pin.handles", pin_handles);
 
+  // --- communication engine: per-thread completion engines summed
+  // (high-water mark takes the max across threads) ---
+  std::uint64_t comm_issued = 0, comm_stalls = 0, comm_hwm = 0;
+  for (const auto& th : threads_) {
+    const CommStats& s = th->comm_stats();
+    comm_issued += s.issued;
+    comm_stalls += s.wait_stalls;
+    comm_hwm = std::max(comm_hwm, s.outstanding_hwm);
+  }
+  reg.set("comm.issued", comm_issued);
+  reg.set("comm.outstanding_hwm", comm_hwm);
+  reg.set("comm.wait_stalls", comm_stalls);
+
   // --- transport layer: messages by protocol, registration caches ---
+  // TransportStats::fold_into is the single source of the registry
+  // mapping for transport-owned counters (transport.*, and the
+  // fault.*/reliability.* names the protocol engine feeds); the struct
+  // and the registry cannot drift (metrics_test asserts equality).
   const net::TransportStats& ts = transport_->stats();
-  reg.set("transport.gets.eager", ts.am_gets);
-  reg.set("transport.gets.rendezvous", ts.rendezvous_gets);
-  reg.set("transport.puts.eager", ts.am_puts);
-  reg.set("transport.puts.rendezvous", ts.rendezvous_puts);
-  reg.set("transport.rdma.gets", ts.rdma_gets);
-  reg.set("transport.rdma.puts", ts.rdma_puts);
-  reg.set("transport.rdma.naks", ts.rdma_naks);
-  reg.set("transport.control_msgs", ts.control_msgs);
-  reg.set("transport.wire_bytes", ts.wire_bytes);
+  ts.fold_into(reg, machine_.faults().enabled());
   std::uint64_t rc_hits = 0, rc_misses = 0, rc_evictions = 0;
   std::uint64_t rc_resident = 0;
   for (NodeId n = 0; n < cfg_.nodes; ++n) {
@@ -118,20 +128,13 @@ RunReport Runtime::metrics() {
   reg.set("regcache.resident_bytes", rc_resident);
 
   // --- fault injection + reliability layer (docs/FAULTS.md) ---
-  // Folded only when a FaultPlan is enabled, so fault-free reports stay
-  // byte-identical to builds that predate the fault layer.
+  // Transport-owned fault.*/reliability.* names were folded above; only
+  // the runtime-owned ones remain here, gated the same way so fault-free
+  // reports stay byte-identical to builds that predate the fault layer.
   if (machine_.faults().enabled()) {
-    reg.set("fault.dropped_msgs", ts.dropped_msgs);
-    reg.set("fault.corrupt_msgs", ts.corrupt_msgs);
-    reg.set("fault.duplicate_msgs", ts.duplicate_msgs);
-    reg.set("fault.nic_stall_waits", ts.nic_stall_waits);
     reg.set("fault.pin_failures", counters_.pin_failures);
-    reg.set("reliability.retransmits", ts.retransmits);
-    reg.set("reliability.timeouts", ts.timeouts);
     reg.set("reliability.rdma_nak_fallbacks", counters_.rdma_naks);
-    reg.set("reliability.bounce_fallbacks", ts.bounce_fallbacks);
     reg.set("reliability.forced_evictions", cap_evictions);
-    reg.set_gauge("reliability.backoff_us", sim::to_us(ts.backoff_ns));
   }
 
   // --- simulation engine ---
@@ -193,6 +196,7 @@ RunReport Runtime::metrics() {
 void Runtime::reset_metrics() {
   counters_ = OpCounters{};
   transport_->reset_stats();
+  for (auto& th : threads_) th->completion_.reset_stats();
   for (NodeId n = 0; n < cfg_.nodes; ++n) {
     node(n).cache->reset_stats();
     node(n).pinned->reset_counters();

@@ -130,16 +130,12 @@ CacheKey Runtime::make_key(const ArrayDesc& a, NodeId remote,
   return CacheKey{a.handle.pack(), remote, chunk};
 }
 
-void Runtime::note_put_issued(UpcThread& th) { ++th.outstanding_puts_; }
+void Runtime::note_put_issued(UpcThread& th) {
+  th.completion_.note_put_issued();
+}
 
 void Runtime::note_put_completed(ThreadId t) {
-  UpcThread& th = *threads_.at(t);
-  if (th.outstanding_puts_ == 0) {
-    throw std::logic_error("Runtime: put completion without issue");
-  }
-  if (--th.outstanding_puts_ == 0 && th.fence_trigger_) {
-    th.fence_trigger_->fire();
-  }
+  threads_.at(t)->completion_.note_put_completed();
 }
 
 // ===================================================== allocation ======
@@ -269,181 +265,6 @@ Addr Runtime::local_translate(NodeId n, svd::Handle h,
     throw std::out_of_range("Runtime: access beyond local piece");
   }
   return cb->local_base + node_offset;
-}
-
-Task<void> Runtime::get_span(UpcThread& th, const ArrayDesc& a,
-                             Layout::Loc loc, std::span<std::byte> dst) {
-  const auto& p = cfg_.platform;
-  const Layout& layout = *a.layout;
-  const NodeId owner = layout.node_of(loc.thread);
-  const std::uint64_t node_off = layout.node_offset(loc);
-  const std::uint32_t len = static_cast<std::uint32_t>(dst.size());
-  const sim::Time t_start = sim_.now();
-  auto trace = [&](TracePath path) {
-    tracer_.record(
-        TraceEvent{th.id(), TraceOp::kGet, path, owner, len, t_start,
-                   sim_.now()});
-  };
-
-  if (owner == th.node()) {
-    // Shared-local access: SVD translation is a local lookup; data moves
-    // over the node's memory system, no network involved.
-    const bool same_thread = loc.thread == th.id();
-    Duration cost = same_thread ? p.local_access : p.shm_latency;
-    cost += sim::transfer_time(len, p.shm_copy_bw);
-    co_await machine_.core(th.node(), th.core()).use(cost);
-    const Addr addr = local_translate(owner, a.handle, node_off, len);
-    node(owner).space->read(addr, dst);
-    if (same_thread) {
-      ++counters_.local_gets;
-      trace(TracePath::kLocal);
-    } else {
-      ++counters_.shm_gets;
-      trace(TracePath::kShm);
-    }
-    co_return;
-  }
-
-  const net::Initiator from{th.node(), th.core()};
-  const bool use_cache = cfg_.cache.enabled;
-  const CacheKey key = make_key(a, owner, node_off);
-
-  if (use_cache) {
-    co_await machine_.core(th.node(), th.core()).use(p.cache_lookup);
-    if (auto info = node(th.node()).cache->lookup(key)) {
-      const Addr raddr = info->base + node_off;
-      if (len > p.rdma_bounce_limit) {
-        // Zero-copy into the user buffer: it must be registered locally.
-        co_await transport_->ensure_local_registered(
-            from, static_cast<Addr>(reinterpret_cast<std::uintptr_t>(
-                      dst.data())),
-            len);
-      }
-      auto res = co_await transport_->rdma_get(from, owner, raddr, len);
-      if (res.ok()) {
-        if (len <= p.rdma_bounce_limit) {
-          // Landed in a preregistered bounce buffer; copy out on the CPU.
-          co_await machine_.core(th.node(), th.core()).use(p.copy_time(len));
-        }
-        std::memcpy(dst.data(), res.data.data(), len);
-        ++counters_.rdma_gets;
-        trace(TracePath::kRdma);
-        co_return;
-      }
-      // NAK: the target no longer pins that window. Invalidate and fall
-      // back to the default path (which will re-populate the cache).
-      node(th.node()).cache->invalidate(key);
-      ++counters_.rdma_naks;
-    }
-  }
-
-  // Default SVD path (Fig. 3a): AM request, target-side translation, the
-  // reply piggybacks the base address when caching is on.
-  net::GetRequest req;
-  req.svd_handle = a.handle.pack();
-  req.offset = node_off;
-  req.len = len;
-  req.want_base = use_cache;
-  req.target_core = layout.core_of(loc.thread);
-  req.local_buf =
-      static_cast<Addr>(reinterpret_cast<std::uintptr_t>(dst.data()));
-  auto reply = co_await transport_->get(from, owner, std::move(req));
-  if (reply.base && use_cache) {
-    co_await machine_.core(th.node(), th.core()).use(p.cache_update);
-    node(th.node()).cache->insert(key, *reply.base);
-  }
-  std::memcpy(dst.data(), reply.data.data(), len);
-  ++counters_.am_gets;
-  trace(TracePath::kAm);
-}
-
-Task<void> Runtime::put_span(UpcThread& th, const ArrayDesc& a,
-                             Layout::Loc loc,
-                             std::span<const std::byte> src) {
-  const auto& p = cfg_.platform;
-  const Layout& layout = *a.layout;
-  const NodeId owner = layout.node_of(loc.thread);
-  const std::uint64_t node_off = layout.node_offset(loc);
-  const std::uint32_t len = static_cast<std::uint32_t>(src.size());
-  const sim::Time t_start = sim_.now();
-  auto trace = [&](TracePath path) {
-    tracer_.record(
-        TraceEvent{th.id(), TraceOp::kPut, path, owner, len, t_start,
-                   sim_.now()});
-  };
-
-  if (owner == th.node()) {
-    const bool same_thread = loc.thread == th.id();
-    Duration cost = same_thread ? p.local_access : p.shm_latency;
-    cost += sim::transfer_time(len, p.shm_copy_bw);
-    co_await machine_.core(th.node(), th.core()).use(cost);
-    const Addr addr = local_translate(owner, a.handle, node_off, len);
-    node(owner).space->write(addr, src);
-    if (same_thread) {
-      ++counters_.local_puts;
-      trace(TracePath::kLocal);
-    } else {
-      ++counters_.shm_puts;
-      trace(TracePath::kShm);
-    }
-    co_return;
-  }
-
-  const net::Initiator from{th.node(), th.core()};
-  const bool cache_on = put_cache_enabled();
-
-  if (cache_on) {
-    const CacheKey key = make_key(a, owner, node_off);
-    co_await machine_.core(th.node(), th.core()).use(p.cache_lookup);
-    if (auto info = node(th.node()).cache->lookup(key)) {
-      const Addr raddr = info->base + node_off;
-      if (len <= p.rdma_bounce_limit) {
-        // Stage into a preregistered bounce buffer.
-        co_await machine_.core(th.node(), th.core()).use(p.copy_time(len));
-      } else {
-        co_await transport_->ensure_local_registered(
-            from, static_cast<Addr>(reinterpret_cast<std::uintptr_t>(
-                      src.data())),
-            len);
-      }
-      note_put_issued(th);
-      const ThreadId tid = th.id();
-      const auto res = co_await transport_->rdma_put(
-          from, owner, raddr, {src.begin(), src.end()},
-          [this, tid] { note_put_completed(tid); });
-      if (res.ok()) {
-        ++counters_.rdma_puts;
-        trace(TracePath::kRdma);
-        co_return;
-      }
-      note_put_completed(th.id());  // nothing was issued
-      node(th.node()).cache->invalidate(key);
-      ++counters_.rdma_naks;
-    }
-  }
-
-  net::PutRequest req;
-  req.svd_handle = a.handle.pack();
-  req.offset = node_off;
-  req.data.assign(src.begin(), src.end());
-  req.want_base = cache_on;
-  req.target_core = layout.core_of(loc.thread);
-  req.local_buf =
-      static_cast<Addr>(reinterpret_cast<std::uintptr_t>(src.data()));
-  note_put_issued(th);
-  const ThreadId tid = th.id();
-  const CacheKey key = make_key(a, owner, node_off);
-  const NodeId my_node = th.node();
-  co_await transport_->put(
-      from, owner, std::move(req),
-      [this, tid, key, my_node, cache_on](const net::PutAck& ack) {
-        if (ack.base && cache_on) {
-          node(my_node).cache->insert(key, *ack.base);
-        }
-        note_put_completed(tid);
-      });
-  ++counters_.am_puts;
-  trace(TracePath::kAm);
 }
 
 // ===================================================== AmTarget ========
@@ -711,11 +532,11 @@ Task<void> UpcThread::compute(Duration d) {
 }
 
 Task<void> UpcThread::fence() {
-  while (outstanding_puts_ > 0) {
-    fence_trigger_ = std::make_unique<sim::Trigger>(rt_->sim_);
-    co_await fence_trigger_->wait();
-    fence_trigger_.reset();
-  }
+  // Retire any nonblocking handles still in flight, then wait for the
+  // remote completion of every PUT this thread issued (the blocking-only
+  // path has no live handles, so the first step is a no-op there).
+  co_await completion_.wait_all();
+  co_await completion_.drain_puts();
 }
 
 Task<void> UpcThread::barrier() {
@@ -778,69 +599,151 @@ Task<void> UpcThread::free_array(ArrayDesc desc) {
   co_await rt_->machine_.core(node_, core_).use(rt_->cfg_.platform.svd_lookup);
 }
 
-Task<void> UpcThread::get(const ArrayDesc& a, std::uint64_t elem,
-                          std::span<std::byte> dst) {
+// --- CommOp construction (validation shared by blocking and _nb) -------
+
+CommOp UpcThread::checked_op_1d(OpKind kind, const ArrayDesc& a,
+                                std::uint64_t elem, std::byte* dst,
+                                const std::byte* src,
+                                std::size_t bytes) const {
+  const char* name = kind == OpKind::kGet ? "get" : "put";
   const Layout& layout = *a.layout;
-  const std::uint64_t n = dst.size() / layout.elem_size();
-  if (n * layout.elem_size() != dst.size() || n == 0) {
-    throw std::invalid_argument("get: span must hold whole elements");
+  const std::uint64_t n = bytes / layout.elem_size();
+  if (n * layout.elem_size() != bytes || n == 0) {
+    throw std::invalid_argument(std::string(name) +
+                                ": span must hold whole elements");
   }
   if (n > layout.run_length(elem)) {
-    throw std::invalid_argument("get: span crosses ownership boundary");
+    throw std::invalid_argument(std::string(name) +
+                                ": span crosses ownership boundary");
   }
-  co_await rt_->get_span(*this, a, layout.locate(elem), dst);
+  CommOp op;
+  op.kind = kind;
+  op.array = a;
+  op.elem = elem;
+  op.dst = dst;
+  op.src = src;
+  op.bytes = bytes;
+  return op;
+}
+
+CommOp UpcThread::checked_op_multi(OpKind kind, const ArrayDesc& a,
+                                   std::uint64_t elem, std::byte* dst,
+                                   const std::byte* src,
+                                   std::size_t bytes) const {
+  const char* name = kind == OpKind::kGet ? "memget" : "memput";
+  const Layout& layout = *a.layout;
+  const std::uint64_t es = layout.elem_size();
+  if ((bytes / es) * es != bytes) {
+    throw std::invalid_argument(std::string(name) +
+                                ": span must hold whole elements");
+  }
+  CommOp op;
+  op.kind = kind;
+  op.array = a;
+  op.elem = elem;
+  op.multi = true;
+  op.dst = dst;
+  op.src = src;
+  op.bytes = bytes;
+  return op;
+}
+
+CommOp UpcThread::checked_op_2d(OpKind kind, const ArrayDesc& a,
+                                std::uint64_t r, std::uint64_t c,
+                                std::byte* dst, const std::byte* src,
+                                std::size_t bytes) const {
+  const char* name = kind == OpKind::kGet ? "get2d" : "put2d";
+  const Layout& layout = *a.layout;
+  const std::uint64_t es = layout.elem_size();
+  const std::uint64_t n = bytes / es;
+  const std::uint64_t bc = layout.spec().block[1];
+  if (n == 0 || n * es != bytes || n > bc - (c % bc)) {
+    throw std::invalid_argument(std::string(name) +
+                                ": span must stay within a tile row");
+  }
+  CommOp op;
+  op.kind = kind;
+  op.array = a;
+  op.row = r;
+  op.col = c;
+  op.two_d = true;
+  op.dst = dst;
+  op.src = src;
+  op.bytes = bytes;
+  return op;
+}
+
+// --- blocking wrappers: issue deferred + wait (executes inline) --------
+
+Task<void> UpcThread::get(const ArrayDesc& a, std::uint64_t elem,
+                          std::span<std::byte> dst) {
+  const OpHandle h = completion_.issue(
+      checked_op_1d(OpKind::kGet, a, elem, dst.data(), nullptr, dst.size()),
+      /*deferred=*/true);
+  co_await completion_.wait(h);
 }
 
 Task<void> UpcThread::put(const ArrayDesc& a, std::uint64_t elem,
                           std::span<const std::byte> src) {
-  const Layout& layout = *a.layout;
-  const std::uint64_t n = src.size() / layout.elem_size();
-  if (n * layout.elem_size() != src.size() || n == 0) {
-    throw std::invalid_argument("put: span must hold whole elements");
-  }
-  if (n > layout.run_length(elem)) {
-    throw std::invalid_argument("put: span crosses ownership boundary");
-  }
-  co_await rt_->put_span(*this, a, layout.locate(elem), src);
+  const OpHandle h = completion_.issue(
+      checked_op_1d(OpKind::kPut, a, elem, nullptr, src.data(), src.size()),
+      /*deferred=*/true);
+  co_await completion_.wait(h);
 }
 
 Task<void> UpcThread::memget(const ArrayDesc& a, std::uint64_t elem_start,
                              std::span<std::byte> dst) {
-  const Layout& layout = *a.layout;
-  const std::uint64_t es = layout.elem_size();
-  std::uint64_t total = dst.size() / es;
-  if (total * es != dst.size()) {
-    throw std::invalid_argument("memget: span must hold whole elements");
-  }
-  std::uint64_t elem = elem_start;
-  std::size_t off = 0;
-  while (total > 0) {
-    const std::uint64_t run = std::min(total, layout.run_length(elem));
-    co_await get(a, elem, dst.subspan(off, run * es));
-    elem += run;
-    off += run * es;
-    total -= run;
-  }
+  const OpHandle h = completion_.issue(
+      checked_op_multi(OpKind::kGet, a, elem_start, dst.data(), nullptr,
+                       dst.size()),
+      /*deferred=*/true);
+  co_await completion_.wait(h);
 }
 
 Task<void> UpcThread::memput(const ArrayDesc& a, std::uint64_t elem_start,
                              std::span<const std::byte> src) {
-  const Layout& layout = *a.layout;
-  const std::uint64_t es = layout.elem_size();
-  std::uint64_t total = src.size() / es;
-  if (total * es != src.size()) {
-    throw std::invalid_argument("memput: span must hold whole elements");
-  }
-  std::uint64_t elem = elem_start;
-  std::size_t off = 0;
-  while (total > 0) {
-    const std::uint64_t run = std::min(total, layout.run_length(elem));
-    co_await put(a, elem, src.subspan(off, run * es));
-    elem += run;
-    off += run * es;
-    total -= run;
-  }
+  const OpHandle h = completion_.issue(
+      checked_op_multi(OpKind::kPut, a, elem_start, nullptr, src.data(),
+                       src.size()),
+      /*deferred=*/true);
+  co_await completion_.wait(h);
 }
+
+// --- nonblocking surface ----------------------------------------------
+
+OpHandle UpcThread::get_nb(const ArrayDesc& a, std::uint64_t elem,
+                           std::span<std::byte> dst) {
+  return completion_.issue(
+      checked_op_1d(OpKind::kGet, a, elem, dst.data(), nullptr, dst.size()),
+      /*deferred=*/false);
+}
+
+OpHandle UpcThread::put_nb(const ArrayDesc& a, std::uint64_t elem,
+                           std::span<const std::byte> src) {
+  return completion_.issue(
+      checked_op_1d(OpKind::kPut, a, elem, nullptr, src.data(), src.size()),
+      /*deferred=*/false);
+}
+
+OpHandle UpcThread::memget_nb(const ArrayDesc& a, std::uint64_t elem_start,
+                              std::span<std::byte> dst) {
+  return completion_.issue(
+      checked_op_multi(OpKind::kGet, a, elem_start, dst.data(), nullptr,
+                       dst.size()),
+      /*deferred=*/false);
+}
+
+OpHandle UpcThread::memput_nb(const ArrayDesc& a, std::uint64_t elem_start,
+                              std::span<const std::byte> src) {
+  return completion_.issue(
+      checked_op_multi(OpKind::kPut, a, elem_start, nullptr, src.data(),
+                       src.size()),
+      /*deferred=*/false);
+}
+
+Task<void> UpcThread::wait(OpHandle h) { return completion_.wait(h); }
+
+Task<void> UpcThread::wait_all() { return completion_.wait_all(); }
 
 Task<void> UpcThread::memcpy_shared(const ArrayDesc& dst,
                                     std::uint64_t dst_elem,
@@ -870,26 +773,18 @@ Task<void> UpcThread::memcpy_shared(const ArrayDesc& dst,
 
 Task<void> UpcThread::get2d(const ArrayDesc& a, std::uint64_t r,
                             std::uint64_t c, std::span<std::byte> dst) {
-  const Layout& layout = *a.layout;
-  const std::uint64_t es = layout.elem_size();
-  const std::uint64_t n = dst.size() / es;
-  const std::uint64_t bc = layout.spec().block[1];
-  if (n == 0 || n * es != dst.size() || n > bc - (c % bc)) {
-    throw std::invalid_argument("get2d: span must stay within a tile row");
-  }
-  co_await rt_->get_span(*this, a, layout.locate2d(r, c), dst);
+  const OpHandle h = completion_.issue(
+      checked_op_2d(OpKind::kGet, a, r, c, dst.data(), nullptr, dst.size()),
+      /*deferred=*/true);
+  co_await completion_.wait(h);
 }
 
 Task<void> UpcThread::put2d(const ArrayDesc& a, std::uint64_t r,
                             std::uint64_t c, std::span<const std::byte> src) {
-  const Layout& layout = *a.layout;
-  const std::uint64_t es = layout.elem_size();
-  const std::uint64_t n = src.size() / es;
-  const std::uint64_t bc = layout.spec().block[1];
-  if (n == 0 || n * es != src.size() || n > bc - (c % bc)) {
-    throw std::invalid_argument("put2d: span must stay within a tile row");
-  }
-  co_await rt_->put_span(*this, a, layout.locate2d(r, c), src);
+  const OpHandle h = completion_.issue(
+      checked_op_2d(OpKind::kPut, a, r, c, nullptr, src.data(), src.size()),
+      /*deferred=*/true);
+  co_await completion_.wait(h);
 }
 
 Task<std::uint64_t> UpcThread::fetch_add(const ArrayDesc& a,

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/access_path.h"
 #include "core/address_cache.h"
 #include "core/api.h"
 #include "core/run_report.h"
@@ -47,7 +48,8 @@ class UpcThread {
  public:
   UpcThread(Runtime& rt, ThreadId id, NodeId node, std::uint32_t core,
             std::uint64_t seed)
-      : rt_(&rt), id_(id), node_(node), core_(core), rng_(seed) {}
+      : rt_(&rt), id_(id), node_(node), core_(core), rng_(seed),
+        completion_(rt, *this) {}
   UpcThread(const UpcThread&) = delete;
   UpcThread& operator=(const UpcThread&) = delete;
 
@@ -101,6 +103,30 @@ class UpcThread {
   sim::Task<void> put2d(const ArrayDesc& a, std::uint64_t r, std::uint64_t c,
                         std::span<const std::byte> src);
 
+  // --- nonblocking data movement (docs/COMM_ENGINE.md) ---
+  // Each *_nb issues the op and returns immediately; the op runs as its
+  // own coroutine, overlapping with the caller. The referenced buffer
+  // must stay live and untouched until wait()/wait_all() retires the
+  // handle. Arguments are validated synchronously (throws at the call).
+  OpHandle get_nb(const ArrayDesc& a, std::uint64_t elem,
+                  std::span<std::byte> dst);
+  OpHandle put_nb(const ArrayDesc& a, std::uint64_t elem,
+                  std::span<const std::byte> src);
+  OpHandle memget_nb(const ArrayDesc& a, std::uint64_t elem_start,
+                     std::span<std::byte> dst);
+  OpHandle memput_nb(const ArrayDesc& a, std::uint64_t elem_start,
+                     std::span<const std::byte> src);
+  /// Suspend until the op behind `h` completes (no-op on a spent
+  /// handle); rethrows any error the op hit.
+  sim::Task<void> wait(OpHandle h);
+  /// Retire every outstanding handle of this thread.
+  sim::Task<void> wait_all();
+  /// Async ops currently in flight (issued, not yet done).
+  std::uint64_t outstanding() const noexcept {
+    return completion_.outstanding();
+  }
+  const CommStats& comm_stats() const noexcept { return completion_.stats(); }
+
   template <class T>
   sim::Task<T> read(const ArrayDesc& a, std::uint64_t i);
   template <class T>
@@ -138,6 +164,19 @@ class UpcThread {
 
  private:
   friend class Runtime;
+  friend class AccessPath;
+
+  // Build validated CommOp descriptors (shared by the blocking wrappers
+  // and the *_nb surface; throws on malformed spans).
+  CommOp checked_op_1d(OpKind kind, const ArrayDesc& a, std::uint64_t elem,
+                       std::byte* dst, const std::byte* src,
+                       std::size_t bytes) const;
+  CommOp checked_op_multi(OpKind kind, const ArrayDesc& a, std::uint64_t elem,
+                          std::byte* dst, const std::byte* src,
+                          std::size_t bytes) const;
+  CommOp checked_op_2d(OpKind kind, const ArrayDesc& a, std::uint64_t r,
+                       std::uint64_t c, std::byte* dst, const std::byte* src,
+                       std::size_t bytes) const;
 
   Runtime* rt_;
   ThreadId id_;
@@ -145,9 +184,8 @@ class UpcThread {
   std::uint32_t core_;
   sim::Rng rng_;
 
-  // PUT remote-completion tracking for fence().
-  std::uint64_t outstanding_puts_ = 0;
-  std::unique_ptr<sim::Trigger> fence_trigger_;
+  // Op slots, PUT remote-completion tracking and comm.* statistics.
+  CompletionEngine completion_;
   // One outstanding lock wait at a time.
   std::unique_ptr<sim::Future<bool>> lock_wait_;
   // One outstanding atomic at a time.
@@ -229,6 +267,8 @@ class Runtime final : public net::AmTarget {
 
  private:
   friend class UpcThread;
+  friend class AccessPath;
+  friend class CompletionEngine;
 
   struct LockState {
     bool held = false;
@@ -258,11 +298,7 @@ class Runtime final : public net::AmTarget {
   void publish_bases(NodeId origin, svd::Handle h);
   void do_free(NodeId n, svd::Handle h);
 
-  // Data-movement plumbing.
-  sim::Task<void> get_span(UpcThread& th, const ArrayDesc& a, Layout::Loc loc,
-                           std::span<std::byte> dst);
-  sim::Task<void> put_span(UpcThread& th, const ArrayDesc& a, Layout::Loc loc,
-                           std::span<const std::byte> src);
+  // Data-movement plumbing (tier dispatch lives in AccessPath).
   Addr local_translate(NodeId n, svd::Handle h, std::uint64_t node_offset,
                        std::size_t len);
   bool put_cache_enabled() const;
@@ -288,6 +324,7 @@ class Runtime final : public net::AmTarget {
   sim::Simulator sim_;
   net::Machine machine_;
   std::unique_ptr<net::Transport> transport_;
+  AccessPath path_{*this};  ///< the tier dispatch every CommOp runs through
   std::vector<Node> nodes_;
   std::vector<std::unique_ptr<UpcThread>> threads_;
   std::unique_ptr<sim::CyclicBarrier> user_barrier_;

@@ -1,5 +1,6 @@
 #include "dis/field.h"
 
+#include <deque>
 #include <vector>
 
 #include "core/runtime.h"
@@ -39,6 +40,20 @@ StressResult run_field(core::RuntimeConfig cfg, const FieldParams& fp) {
     const ThreadId prev = (th.id() + threads - 1) % threads;
     const ThreadId next = (th.id() + 1) % threads;
     std::vector<std::byte> overhang(fp.token_len);
+    // In-flight overhang reads (pipeline_depth > 1); each needs its own
+    // landing buffer while outstanding. deque keeps element addresses
+    // stable as the window slides.
+    struct OvRead {
+      core::OpHandle h;
+      std::vector<std::byte> buf;
+    };
+    std::deque<OvRead> pend;
+    auto issue_overhang = [&](std::uint64_t elem) {
+      pend.emplace_back();
+      OvRead& p = pend.back();
+      p.buf.resize(fp.token_len);
+      p.h = th.get_nb(arr, elem, p.buf);
+    };
 
     for (std::uint32_t tok = 0; tok < fp.tokens; ++tok) {
       // Scan the local portion in chunks, extending the search into the
@@ -74,14 +89,36 @@ StressResult run_field(core::RuntimeConfig cfg, const FieldParams& fp) {
           const std::uint64_t next_off =
               static_cast<std::uint64_t>(next) * fp.bytes_per_thread +
               static_cast<std::uint64_t>(o) * fp.token_len;
-          co_await th.get(arr, next_off % n, overhang);
+          if (fp.pipeline_depth <= 1) {
+            co_await th.get(arr, next_off % n, overhang);
+          } else {
+            if (pend.size() >= fp.pipeline_depth) {
+              co_await th.wait(pend.front().h);
+              pend.pop_front();
+            }
+            issue_overhang(next_off % n);
+          }
         }
         if (probe_prev) {
           const std::uint64_t prev_end =
               static_cast<std::uint64_t>(prev) * fp.bytes_per_thread +
               fp.bytes_per_thread - (o + 1) * fp.token_len;
-          co_await th.get(arr, prev_end % n, overhang);
+          if (fp.pipeline_depth <= 1) {
+            co_await th.get(arr, prev_end % n, overhang);
+          } else {
+            if (pend.size() >= fp.pipeline_depth) {
+              co_await th.wait(pend.front().h);
+              pend.pop_front();
+            }
+            issue_overhang(prev_end % n);
+          }
         }
+      }
+      // All overhang reads must land before this token's result is
+      // committed; the pipelined window drains here.
+      while (!pend.empty()) {
+        co_await th.wait(pend.front().h);
+        pend.pop_front();
       }
 
       // Delimiters found at the boundary are updated in memory.

@@ -34,6 +34,12 @@ struct FieldParams {
   double skew = 0.4;  ///< scan-time jitter: q *= 1-skew/2 .. 1+skew/2
   NodeId observe_node = 0;
   bool warm_cache = true;  ///< start from a steady-state cache
+  /// Outstanding nonblocking overhang GETs per thread
+  /// (docs/COMM_ENGINE.md). The default 1 keeps the original blocking
+  /// probes; larger depths let a thread keep scanning the next chunks
+  /// while earlier overhang reads are still in flight, draining them all
+  /// before the token's delimiter update.
+  std::uint32_t pipeline_depth = 1;
 };
 
 StressResult run_field(core::RuntimeConfig cfg, const FieldParams& p);

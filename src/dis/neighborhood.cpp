@@ -1,5 +1,6 @@
 #include "dis/neighborhood.h"
 
+#include <deque>
 #include <vector>
 
 #include "core/runtime.h"
@@ -42,27 +43,54 @@ StressResult run_neighborhood(core::RuntimeConfig cfg,
 
     const std::uint64_t band_start = th.id() * np.rows_per_thread;
     std::int64_t checksum = 0;
+    // In-flight nonblocking reads (pipeline_depth > 1). deque: element
+    // addresses stay stable while the transport writes into `v`.
+    struct PendingRead {
+      core::OpHandle h;
+      std::int32_t v = 0;
+    };
+    std::deque<PendingRead> pend;
     for (std::uint32_t s = 0; s < np.samples_per_thread; ++s) {
       const std::uint64_t r =
           band_start + th.rng().below(np.rows_per_thread);
       const std::uint64_t c = th.rng().below(np.cols);
       // Centre pixel plus the four stencil partners at distance d;
       // vertical partners may be remote, horizontal ones stay in-row.
-      checksum += co_await th.read<std::int32_t>(arr, r * np.cols + c);
-      if (r >= np.stencil) {
-        checksum +=
-            co_await th.read<std::int32_t>(arr, (r - np.stencil) * np.cols + c);
-      }
-      if (r + np.stencil < rows) {
-        checksum +=
-            co_await th.read<std::int32_t>(arr, (r + np.stencil) * np.cols + c);
-      }
       const std::uint64_t cl = c >= np.stencil ? c - np.stencil : c;
       const std::uint64_t cr =
           c + np.stencil < np.cols ? c + np.stencil : c;
-      checksum += co_await th.read<std::int32_t>(arr, r * np.cols + cl);
-      checksum += co_await th.read<std::int32_t>(arr, r * np.cols + cr);
+      std::uint64_t elems[5];
+      std::size_t ne = 0;
+      elems[ne++] = r * np.cols + c;
+      if (r >= np.stencil) elems[ne++] = (r - np.stencil) * np.cols + c;
+      if (r + np.stencil < rows) elems[ne++] = (r + np.stencil) * np.cols + c;
+      elems[ne++] = r * np.cols + cl;
+      elems[ne++] = r * np.cols + cr;
+      for (std::size_t i = 0; i < ne; ++i) {
+        if (np.pipeline_depth <= 1) {
+          // Original blocking loop: each read's full round trip is paid
+          // before the next one issues.
+          checksum += co_await th.read<std::int32_t>(arr, elems[i]);
+        } else {
+          // Pipelined: retire the oldest handle once the window is full,
+          // then issue the next read nonblocking.
+          if (pend.size() >= np.pipeline_depth) {
+            co_await th.wait(pend.front().h);
+            checksum += pend.front().v;
+            pend.pop_front();
+          }
+          pend.emplace_back();
+          PendingRead& p = pend.back();
+          p.h = th.get_nb(arr, elems[i],
+                          std::as_writable_bytes(std::span(&p.v, 1)));
+        }
+      }
       co_await th.compute(np.work_per_sample);
+    }
+    while (!pend.empty()) {
+      co_await th.wait(pend.front().h);
+      checksum += pend.front().v;
+      pend.pop_front();
     }
     (void)checksum;
 

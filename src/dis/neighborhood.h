@@ -27,6 +27,11 @@ struct NeighborhoodParams {
   sim::Duration work_per_sample = sim::us(3.0);
   NodeId observe_node = 0;
   bool warm_cache = true;  ///< start from a steady-state cache
+  /// Outstanding nonblocking GETs per thread (docs/COMM_ENGINE.md). The
+  /// default 1 keeps the original blocking inner loop; larger depths
+  /// issue the stencil reads with get_nb and retire the oldest handle
+  /// when the window fills, overlapping their round trips.
+  std::uint32_t pipeline_depth = 1;
 };
 
 StressResult run_neighborhood(core::RuntimeConfig cfg,

@@ -1,0 +1,89 @@
+#include "net/protocol_engine.h"
+
+#include <string>
+
+#include "net/transport.h"
+
+namespace xlupc::net {
+
+using sim::Duration;
+using sim::Task;
+
+Duration ProtocolEngine::scaled(NodeId node, Duration d) const {
+  const sim::FaultPlan& plan = machine_.faults();
+  if (!plan.enabled()) return d;
+  const double f = plan.slowdown(node, machine_.simulator().now());
+  if (f == 1.0) return d;
+  return static_cast<Duration>(static_cast<double>(d) * f);
+}
+
+Task<void> ProtocolEngine::deliver(NodeId src, NodeId dst,
+                                   sim::Resource* retx_nic,
+                                   Duration retx_cost,
+                                   std::uint64_t retx_bytes) {
+  auto& sim = machine_.simulator();
+  const Duration lat = machine_.latency(src, dst);
+  sim::FaultPlan& plan = machine_.faults();
+  if (!plan.enabled()) {
+    // Null plan: exactly the bare latency delay the seed charged — same
+    // event count, same timing, byte-identical reports.
+    co_await sim.delay(lat);
+    co_return;
+  }
+
+  const sim::FaultParams& fp = plan.params();
+  const std::uint64_t link = (static_cast<std::uint64_t>(src) << 32) | dst;
+  LinkSeq& ls = link_seq_[link];
+  const std::uint64_t seq = ls.next_seq++;
+
+  // The source NIC makes no progress while a stall window is open.
+  const Duration stall = plan.stall_remaining(src, sim.now());
+  if (stall != 0) {
+    ++stats_.nic_stall_waits;
+    co_await sim.delay(stall);
+  }
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    switch (plan.transmit(src, dst)) {
+      case sim::FaultPlan::Verdict::kDeliver: {
+        co_await sim.delay(lat);
+        if (seq >= ls.delivered_hwm) ls.delivered_hwm = seq + 1;
+        // A leg recovered by retransmission may also see its "lost"
+        // original arrive late. It carries the same stamp `seq`, now
+        // below the link's delivered high-water mark, so the receiver
+        // discards it after paying dispatch overhead.
+        if (attempt > 0 && plan.late_duplicate(src, dst) &&
+            seq < ls.delivered_hwm) {
+          ++stats_.duplicate_msgs;
+          co_await sim.delay(machine_.params().recv_overhead);
+        }
+        co_return;
+      }
+      case sim::FaultPlan::Verdict::kDrop:
+        ++stats_.dropped_msgs;
+        break;
+      case sim::FaultPlan::Verdict::kCorrupt:
+        ++stats_.corrupt_msgs;
+        break;
+    }
+    if (attempt >= fp.max_retransmits) {
+      ++stats_.timeouts;
+      throw TransportTimeout(
+          "transport: seq " + std::to_string(seq) + " on link " +
+          std::to_string(src) + "->" + std::to_string(dst) + " lost after " +
+          std::to_string(fp.max_retransmits) + " retransmissions");
+    }
+    // No ACK within the (capped exponential) retransmission timeout:
+    // re-inject the same message on the sender NIC.
+    const Duration rto = plan.rto_after(attempt);
+    stats_.backoff_ns += rto;
+    ++stats_.retransmits;
+    co_await sim.delay(rto);
+    if (retx_nic != nullptr && retx_cost != 0) {
+      co_await retx_nic->use(retx_cost);
+    }
+    stats_.retx_wire_bytes += retx_bytes;
+  }
+}
+
+}  // namespace xlupc::net

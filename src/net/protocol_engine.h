@@ -1,0 +1,88 @@
+// Shared per-link transport protocol core (docs/COMM_ENGINE.md).
+//
+// Every wire traversal — eager AM legs, rendezvous control frames, RDMA
+// descriptors and payloads, on GM and on LAPI alike — runs through one
+// ProtocolEngine. It owns the whole reliability state machine the two
+// transports used to duplicate: per-link sequence stamping, the
+// ACK/timeout/retransmission loop with capped exponential backoff,
+// duplicate suppression against the delivered high-water mark, and the
+// NIC-stall / node-slowdown bookkeeping of the fault plan
+// (docs/FAULTS.md). The transports themselves keep only their genuinely
+// different policies: which CPU serves AM handlers (GM: the application
+// core; LAPI: the communication processor) and the eager/rendezvous
+// threshold parameters.
+//
+// With the null fault plan, deliver() collapses to exactly one latency
+// delay — same event count, same timing, byte-identical reports as a
+// build without the reliability layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.h"
+#include "net/machine.h"
+#include "sim/task.h"
+
+namespace xlupc::net {
+
+/// Counters of the protocol core's recovery work. All zero under the null
+/// fault plan. Folded into TransportStats (and from there into the
+/// MetricsRegistry as the `fault.*` / `reliability.*` taxonomy).
+struct ProtocolStats {
+  std::uint64_t retransmits = 0;      ///< legs re-sent after loss/corruption
+  std::uint64_t timeouts = 0;         ///< retransmission budget exhausted
+  std::uint64_t dropped_msgs = 0;     ///< legs silently lost in transit
+  std::uint64_t corrupt_msgs = 0;     ///< legs discarded by checksum
+  std::uint64_t duplicate_msgs = 0;   ///< late copies suppressed by seqno
+  std::uint64_t backoff_ns = 0;       ///< simulated time spent in RTO waits
+  std::uint64_t nic_stall_waits = 0;  ///< injections delayed by a stall
+  std::uint64_t retx_wire_bytes = 0;  ///< bytes re-serialized on the wire
+};
+
+/// The per-link protocol state machine shared by GmTransport and
+/// LapiTransport. One instance per Transport; links are keyed by the
+/// (src, dst) node pair.
+class ProtocolEngine {
+ public:
+  explicit ProtocolEngine(Machine& machine) : machine_(machine) {}
+  ProtocolEngine(const ProtocolEngine&) = delete;
+  ProtocolEngine& operator=(const ProtocolEngine&) = delete;
+
+  /// One wire traversal src -> dst under the machine's fault plan: waits
+  /// out any NIC stall window at the source, stamps the message with the
+  /// link's next sequence number, draws a transmit verdict, and on loss
+  /// or corruption waits the capped-exponential RTO and re-injects on
+  /// `retx_nic` (re-charging `retx_cost` and counting `retx_bytes` on
+  /// the wire again) until delivery. Throws TransportTimeout after
+  /// FaultParams::max_retransmits. With the null plan this is exactly
+  /// one latency delay — no extra events, no extra cost.
+  sim::Task<void> deliver(NodeId src, NodeId dst, sim::Resource* retx_nic,
+                          sim::Duration retx_cost, std::uint64_t retx_bytes);
+
+  /// Target-side handler service time scaled by any active NodeSlowdown
+  /// window (identity when no plan is enabled).
+  sim::Duration scaled(NodeId node, sim::Duration d) const;
+
+  const ProtocolStats& stats() const noexcept { return stats_; }
+
+  /// Zero the recovery-work counters; live link sequence state is kept
+  /// (only the statistics window restarts).
+  void reset_stats() { stats_ = ProtocolStats{}; }
+
+ private:
+  /// Per-link sequence bookkeeping, used only when a fault plan is
+  /// enabled: the sender stamps every message, retransmitted copies reuse
+  /// the stamp, and the receiver discards any copy at or below its
+  /// delivered high-water mark (duplicate suppression).
+  struct LinkSeq {
+    std::uint64_t next_seq = 0;       ///< sender-side stamp counter
+    std::uint64_t delivered_hwm = 0;  ///< highest delivered seq + 1
+  };
+
+  Machine& machine_;
+  ProtocolStats stats_;
+  std::map<std::uint64_t, LinkSeq> link_seq_;  // keyed (src << 32) | dst
+};
+
+}  // namespace xlupc::net

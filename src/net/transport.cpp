@@ -10,7 +10,7 @@ using sim::Duration;
 using sim::Task;
 
 Transport::Transport(Machine& machine, AmTarget& target)
-    : machine_(machine), target_(target) {
+    : machine_(machine), target_(target), protocol_(machine) {
   reg_caches_.reserve(machine.nodes());
   for (std::uint32_t n = 0; n < machine.nodes(); ++n) {
     reg_caches_.emplace_back(machine.params().max_dmaable_bytes);
@@ -19,83 +19,51 @@ Transport::Transport(Machine& machine, AmTarget& target)
 
 void Transport::reset_stats() {
   stats_ = TransportStats{};
+  protocol_.reset_stats();
   for (auto& rc : reg_caches_) rc.reset_counters();
 }
 
-// ------------------------------------------------- reliability layer ---
+// ------------------------------------------------- statistics views ---
 
-Duration Transport::scaled(NodeId node, Duration d) const {
-  const sim::FaultPlan& plan = machine_.faults();
-  if (!plan.enabled()) return d;
-  const double f = plan.slowdown(node, machine_.simulator().now());
-  if (f == 1.0) return d;
-  return static_cast<Duration>(static_cast<double>(d) * f);
+const TransportStats& Transport::stats() const noexcept {
+  // The reliability counters live in the shared ProtocolEngine (one
+  // state machine for GM and LAPI alike); merge them into the struct
+  // view on every read so the two can never drift.
+  merged_stats_ = stats_;
+  const ProtocolStats& ps = protocol_.stats();
+  merged_stats_.retransmits = ps.retransmits;
+  merged_stats_.timeouts = ps.timeouts;
+  merged_stats_.dropped_msgs = ps.dropped_msgs;
+  merged_stats_.corrupt_msgs = ps.corrupt_msgs;
+  merged_stats_.duplicate_msgs = ps.duplicate_msgs;
+  merged_stats_.backoff_ns = ps.backoff_ns;
+  merged_stats_.nic_stall_waits = ps.nic_stall_waits;
+  merged_stats_.wire_bytes += ps.retx_wire_bytes;
+  return merged_stats_;
 }
 
-Task<void> Transport::deliver(NodeId src, NodeId dst, sim::Resource* retx_nic,
-                              Duration retx_cost, std::uint64_t retx_bytes) {
-  auto& sim = machine_.simulator();
-  const Duration lat = machine_.latency(src, dst);
-  sim::FaultPlan& plan = machine_.faults();
-  if (!plan.enabled()) {
-    // Null plan: exactly the bare latency delay the seed charged — same
-    // event count, same timing, byte-identical reports.
-    co_await sim.delay(lat);
-    co_return;
-  }
-
-  const sim::FaultParams& fp = plan.params();
-  const std::uint64_t link = (static_cast<std::uint64_t>(src) << 32) | dst;
-  LinkSeq& ls = link_seq_[link];
-  const std::uint64_t seq = ls.next_seq++;
-
-  // The source NIC makes no progress while a stall window is open.
-  const Duration stall = plan.stall_remaining(src, sim.now());
-  if (stall != 0) {
-    ++stats_.nic_stall_waits;
-    co_await sim.delay(stall);
-  }
-
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    switch (plan.transmit(src, dst)) {
-      case sim::FaultPlan::Verdict::kDeliver: {
-        co_await sim.delay(lat);
-        if (seq >= ls.delivered_hwm) ls.delivered_hwm = seq + 1;
-        // A leg recovered by retransmission may also see its "lost"
-        // original arrive late. It carries the same stamp `seq`, now
-        // below the link's delivered high-water mark, so the receiver
-        // discards it after paying dispatch overhead.
-        if (attempt > 0 && plan.late_duplicate(src, dst) &&
-            seq < ls.delivered_hwm) {
-          ++stats_.duplicate_msgs;
-          co_await sim.delay(machine_.params().recv_overhead);
-        }
-        co_return;
-      }
-      case sim::FaultPlan::Verdict::kDrop:
-        ++stats_.dropped_msgs;
-        break;
-      case sim::FaultPlan::Verdict::kCorrupt:
-        ++stats_.corrupt_msgs;
-        break;
-    }
-    if (attempt >= fp.max_retransmits) {
-      ++stats_.timeouts;
-      throw TransportTimeout(
-          "transport: seq " + std::to_string(seq) + " on link " +
-          std::to_string(src) + "->" + std::to_string(dst) + " lost after " +
-          std::to_string(fp.max_retransmits) + " retransmissions");
-    }
-    // No ACK within the (capped exponential) retransmission timeout:
-    // re-inject the same message on the sender NIC.
-    const Duration rto = plan.rto_after(attempt);
-    stats_.backoff_ns += rto;
-    ++stats_.retransmits;
-    co_await sim.delay(rto);
-    if (retx_nic != nullptr && retx_cost != 0) {
-      co_await retx_nic->use(retx_cost);
-    }
-    stats_.wire_bytes += retx_bytes;
+void TransportStats::fold_into(sim::MetricsRegistry& reg,
+                               bool faults_enabled) const {
+  reg.set("transport.gets.eager", am_gets);
+  reg.set("transport.gets.rendezvous", rendezvous_gets);
+  reg.set("transport.puts.eager", am_puts);
+  reg.set("transport.puts.rendezvous", rendezvous_puts);
+  reg.set("transport.rdma.gets", rdma_gets);
+  reg.set("transport.rdma.puts", rdma_puts);
+  reg.set("transport.rdma.naks", rdma_naks);
+  reg.set("transport.control_msgs", control_msgs);
+  reg.set("transport.wire_bytes", wire_bytes);
+  // Folded only when a FaultPlan is enabled, so fault-free reports stay
+  // byte-identical to builds that predate the fault layer.
+  if (faults_enabled) {
+    reg.set("fault.dropped_msgs", dropped_msgs);
+    reg.set("fault.corrupt_msgs", corrupt_msgs);
+    reg.set("fault.duplicate_msgs", duplicate_msgs);
+    reg.set("fault.nic_stall_waits", nic_stall_waits);
+    reg.set("reliability.retransmits", retransmits);
+    reg.set("reliability.timeouts", timeouts);
+    reg.set("reliability.bounce_fallbacks", bounce_fallbacks);
+    reg.set_gauge("reliability.backoff_us", sim::to_us(backoff_ns));
   }
 }
 

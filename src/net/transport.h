@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -26,6 +25,8 @@
 #include "mem/registration_cache.h"
 #include "net/machine.h"
 #include "net/message.h"
+#include "net/protocol_engine.h"
+#include "sim/metrics.h"
 #include "sim/task.h"
 
 namespace xlupc::net {
@@ -127,7 +128,10 @@ class AmTarget {
                                  std::size_t len) = 0;
 };
 
-/// Aggregate operation counters (per transport instance).
+/// Aggregate operation counters (per transport instance). The transport
+/// itself owns only the operation/byte counters; the reliability fields
+/// are a read-time copy of the shared ProtocolEngine's ProtocolStats, so
+/// the two views cannot drift (Transport::stats() performs the merge).
 struct TransportStats {
   std::uint64_t am_gets = 0;
   std::uint64_t am_puts = 0;
@@ -139,9 +143,10 @@ struct TransportStats {
   std::uint64_t control_msgs = 0;
   std::uint64_t wire_bytes = 0;
 
-  // Reliability layer (docs/FAULTS.md). All zero unless a FaultPlan is
-  // enabled, except bounce_fallbacks, which also covers registration
-  // requests larger than the whole DMAable budget.
+  // Reliability layer (docs/FAULTS.md), mirrored from ProtocolStats. All
+  // zero unless a FaultPlan is enabled, except bounce_fallbacks, which
+  // also covers registration requests larger than the whole DMAable
+  // budget (and is owned by the transport, not the protocol engine).
   std::uint64_t retransmits = 0;      ///< legs re-sent after loss/corruption
   std::uint64_t timeouts = 0;         ///< retransmission budget exhausted
   std::uint64_t dropped_msgs = 0;     ///< legs silently lost in transit
@@ -150,6 +155,13 @@ struct TransportStats {
   std::uint64_t backoff_ns = 0;       ///< simulated time spent in RTO waits
   std::uint64_t nic_stall_waits = 0;  ///< injections delayed by a stall
   std::uint64_t bounce_fallbacks = 0; ///< transfers staged via bounce bufs
+
+  /// Fold this struct into `reg` under the stable dotted names of the
+  /// observability taxonomy (`transport.*`, and — when `faults_enabled`
+  /// — the transport-owned subset of `fault.*` / `reliability.*`). The
+  /// single fold point is what keeps the struct and the registry from
+  /// drifting; metrics_test additionally asserts field-by-field equality.
+  void fold_into(sim::MetricsRegistry& reg, bool faults_enabled) const;
 };
 
 /// Identifies the initiating UPC thread's seat in the machine.
@@ -201,10 +213,14 @@ class Transport {
   sim::Task<void> ensure_local_registered(Initiator from, Addr key,
                                           std::size_t len);
 
-  const TransportStats& stats() const noexcept { return stats_; }
-  /// Zero the message/byte counters and every node's registration-cache
-  /// counters (resident registrations are kept — only the statistics
-  /// window restarts).
+  /// Aggregate statistics: the transport's operation/byte counters with
+  /// the ProtocolEngine's reliability counters merged in at read time.
+  const TransportStats& stats() const noexcept;
+  /// The shared per-link protocol core (seqno/ACK/retransmit/NAK).
+  const ProtocolEngine& protocol() const noexcept { return protocol_; }
+  /// Zero the message/byte counters, the protocol engine's recovery
+  /// counters and every node's registration-cache counters (resident
+  /// registrations are kept — only the statistics window restarts).
   void reset_stats();
   const mem::RegistrationCache& reg_cache(NodeId node) const {
     return reg_caches_.at(node);
@@ -230,20 +246,16 @@ class Transport {
   TransportStats stats_;
 
  private:
-  // --- reliability layer (docs/FAULTS.md) ---
-  /// One wire traversal src -> dst under the machine's fault plan: waits
-  /// out any NIC stall window at the source, stamps the message with the
-  /// link's next sequence number, draws a transmit verdict, and on loss or
-  /// corruption waits the capped-exponential RTO and re-injects on
-  /// `retx_nic` (re-charging `retx_cost` and counting `retx_bytes` on the
-  /// wire again) until delivery. Throws TransportTimeout after
-  /// FaultParams::max_retransmits. With the null plan this is exactly one
-  /// latency delay — no extra events, no extra cost.
+  // --- reliability layer: delegated to the shared ProtocolEngine ---
+  /// One wire traversal src -> dst; see ProtocolEngine::deliver.
   sim::Task<void> deliver(NodeId src, NodeId dst, sim::Resource* retx_nic,
-                          sim::Duration retx_cost, std::uint64_t retx_bytes);
-  /// Target-side handler service time scaled by any active NodeSlowdown
-  /// window (identity when no plan is enabled).
-  sim::Duration scaled(NodeId node, sim::Duration d) const;
+                          sim::Duration retx_cost, std::uint64_t retx_bytes) {
+    return protocol_.deliver(src, dst, retx_nic, retx_cost, retx_bytes);
+  }
+  /// Handler service time under slowdowns; see ProtocolEngine::scaled.
+  sim::Duration scaled(NodeId node, sim::Duration d) const {
+    return protocol_.scaled(node, d);
+  }
 
   sim::Task<GetReply> get_eager(Initiator from, NodeId dst, GetRequest req);
   sim::Task<GetReply> get_rendezvous(Initiator from, NodeId dst,
@@ -266,15 +278,10 @@ class Transport {
                                    std::vector<std::byte> data,
                                    std::function<void()> on_done);
 
-  /// Per-link sequence bookkeeping, used only when a fault plan is
-  /// enabled: the sender stamps every message, retransmitted copies reuse
-  /// the stamp, and the receiver discards any copy at or below its
-  /// delivered high-water mark (duplicate suppression).
-  struct LinkSeq {
-    std::uint64_t next_seq = 0;       ///< sender-side stamp counter
-    std::uint64_t delivered_hwm = 0;  ///< highest delivered seq + 1
-  };
-  std::map<std::uint64_t, LinkSeq> link_seq_;  // keyed (src << 32) | dst
+  ProtocolEngine protocol_;
+  /// Read-time merge target of stats_ + protocol_.stats(); refreshed on
+  /// every stats() call so callers keep the cheap const-reference API.
+  mutable TransportStats merged_stats_;
 };
 
 /// Myrinet/GM transport (paper Sec. 3.3): handlers run on the target

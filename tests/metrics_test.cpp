@@ -11,6 +11,7 @@
 #include "benchsupport/json.h"
 #include "benchsupport/report.h"
 #include "core/runtime.h"
+#include "net/transport.h"
 #include "sim/metrics.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -200,6 +201,95 @@ TEST(RuntimeMetrics, ResetMetricsStartsACleanWindow) {
   EXPECT_EQ(second.counter("runtime.gets.rdma"),
             first.counter("runtime.gets.rdma"));
   EXPECT_EQ(second.counter("cache.misses"), first.counter("cache.misses"));
+}
+
+// Lossy variant of tiny_config: enough drop probability that the
+// reliability layer retransmits, so the fault.*/reliability.* families
+// fold into the registry.
+RuntimeConfig faulty_config() {
+  RuntimeConfig cfg = tiny_config();
+  cfg.faults.seed = 42;
+  cfg.faults.drop_prob = 0.3;
+  cfg.faults.dup_prob = 0.5;
+  return cfg;
+}
+
+// tiny_body through the nonblocking surface with a window of 2, so the
+// comm.* family records async issues, a nonzero high-water mark, and
+// suspending waits.
+Task<void> tiny_nb_body(UpcThread& th) {
+  auto a = co_await th.all_alloc(16, 8, 8);
+  co_await th.barrier();
+  if (th.id() == 0) {
+    std::uint64_t v[4] = {};
+    for (int i = 0; i < 4; ++i) {
+      (void)th.get_nb(a, 8 + (i % 4),
+                      std::as_writable_bytes(std::span(&v[i], 1)));
+      if (th.outstanding() >= 2) co_await th.wait_all();
+    }
+    co_await th.wait_all();
+  }
+  co_await th.barrier();
+}
+
+TEST(RuntimeMetrics, ResetClearsFaultReliabilityAndCommCounters) {
+  Runtime rt(faulty_config());
+  rt.run(tiny_nb_body);
+  const core::RunReport dirty = rt.metrics();
+  // The window we are about to clear really had something in it.
+  EXPECT_EQ(dirty.counter("comm.issued"), 4u);
+  EXPECT_EQ(dirty.counter("comm.outstanding_hwm"), 2u);
+  EXPECT_GT(dirty.counter("comm.wait_stalls"), 0u);
+  EXPECT_GT(dirty.counter("fault.dropped_msgs") +
+                dirty.counter("fault.duplicate_msgs"),
+            0u);
+  EXPECT_GT(dirty.counter("reliability.retransmits"), 0u);
+
+  rt.reset_metrics();
+  const core::RunReport clean = rt.metrics();
+  EXPECT_EQ(clean.counter("comm.issued"), 0u);
+  EXPECT_EQ(clean.counter("comm.outstanding_hwm"), 0u);
+  EXPECT_EQ(clean.counter("comm.wait_stalls"), 0u);
+  EXPECT_EQ(clean.counter("fault.dropped_msgs"), 0u);
+  EXPECT_EQ(clean.counter("fault.corrupt_msgs"), 0u);
+  EXPECT_EQ(clean.counter("fault.duplicate_msgs"), 0u);
+  EXPECT_EQ(clean.counter("reliability.retransmits"), 0u);
+  EXPECT_EQ(clean.counter("reliability.timeouts"), 0u);
+  EXPECT_DOUBLE_EQ(clean.gauge("reliability.backoff_us"), 0.0);
+}
+
+// Satellite of the ProtocolEngine extraction: TransportStats (the struct
+// benches read directly) and the registry counters (what reports carry)
+// must be two views of the same numbers, including the protocol-owned
+// fields now accumulated inside the ProtocolEngine and merged on read.
+TEST(RuntimeMetrics, TransportStatsAndRegistryCountersAgree) {
+  Runtime rt(faulty_config());
+  rt.run(tiny_body);
+  const net::TransportStats& ts = rt.transport().stats();
+  const core::RunReport rep = rt.metrics();
+  EXPECT_EQ(rep.counter("transport.gets.eager"), ts.am_gets);
+  EXPECT_EQ(rep.counter("transport.gets.rendezvous"), ts.rendezvous_gets);
+  EXPECT_EQ(rep.counter("transport.puts.eager"), ts.am_puts);
+  EXPECT_EQ(rep.counter("transport.puts.rendezvous"), ts.rendezvous_puts);
+  EXPECT_EQ(rep.counter("transport.rdma.gets"), ts.rdma_gets);
+  EXPECT_EQ(rep.counter("transport.rdma.puts"), ts.rdma_puts);
+  EXPECT_EQ(rep.counter("transport.rdma.naks"), ts.rdma_naks);
+  EXPECT_EQ(rep.counter("transport.control_msgs"), ts.control_msgs);
+  EXPECT_EQ(rep.counter("transport.wire_bytes"), ts.wire_bytes);
+  EXPECT_EQ(rep.counter("fault.dropped_msgs"), ts.dropped_msgs);
+  EXPECT_EQ(rep.counter("fault.corrupt_msgs"), ts.corrupt_msgs);
+  EXPECT_EQ(rep.counter("fault.duplicate_msgs"), ts.duplicate_msgs);
+  EXPECT_EQ(rep.counter("fault.nic_stall_waits"), ts.nic_stall_waits);
+  EXPECT_EQ(rep.counter("reliability.retransmits"), ts.retransmits);
+  EXPECT_EQ(rep.counter("reliability.timeouts"), ts.timeouts);
+  EXPECT_EQ(rep.counter("reliability.bounce_fallbacks"),
+            ts.bounce_fallbacks);
+  EXPECT_DOUBLE_EQ(rep.gauge("reliability.backoff_us"),
+                   sim::to_us(ts.backoff_ns));
+  // The run actually exercised the lossy path, so the equalities above
+  // compared nonzero numbers.
+  EXPECT_GT(ts.retransmits, 0u);
+  EXPECT_GT(ts.wire_bytes, 0u);
 }
 
 TEST(RuntimeMetrics, TraceLinesPresentOnlyWhenTracing) {

@@ -67,7 +67,12 @@ class Target : public AmTarget {
 
 struct Rig {
   explicit Rig(PlatformParams p, std::uint32_t cores = 2)
-      : target(8 << 20), machine(sim, std::move(p), {2, cores}) {
+      : target(8 << 20), machine(sim, std::move(p), [cores] {
+          MachineConfig c;
+          c.nodes = 2;
+          c.cores_per_node = cores;
+          return c;
+        }()) {
     transport = make_transport(machine, target);
   }
   sim::Simulator sim;

@@ -16,6 +16,15 @@
 namespace xlupc::net {
 namespace {
 
+// MachineConfig with the null fault plan; spelled as a function so the
+// partial aggregate init does not trip -Wmissing-field-initializers.
+MachineConfig mc(std::uint32_t nodes, std::uint32_t cores_per_node) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.cores_per_node = cores_per_node;
+  return c;
+}
+
 // ------------------------------------------------------------ topology ---
 
 TEST(Topology, MyrinetThreeRouteLengths) {
@@ -62,7 +71,7 @@ TEST(Params, PresetsMatchPaperEnvironments) {
 
 TEST(Machine, ProvidesPerNodeResources) {
   sim::Simulator sim;
-  Machine m(sim, mare_nostrum_gm(), {4, 2});
+  Machine m(sim, mare_nostrum_gm(), mc(4, 2));
   EXPECT_EQ(m.nodes(), 4u);
   for (NodeId n = 0; n < 4; ++n) {
     EXPECT_EQ(m.core(n, 0).capacity(), 1u);
@@ -77,7 +86,7 @@ TEST(Machine, ProvidesPerNodeResources) {
 
 TEST(Machine, RejectsZeroConfig) {
   sim::Simulator sim;
-  EXPECT_THROW(Machine(sim, mare_nostrum_gm(), {0, 1}),
+  EXPECT_THROW(Machine(sim, mare_nostrum_gm(), mc(0, 1)),
                std::invalid_argument);
 }
 
@@ -165,7 +174,7 @@ class FakeTarget : public AmTarget {
 
 struct Fixture {
   explicit Fixture(PlatformParams params, std::size_t bytes = 1 << 22)
-      : target(bytes), machine(sim, std::move(params), {2, 1}) {
+      : target(bytes), machine(sim, std::move(params), mc(2, 1)) {
     transport = make_transport(machine, target);
   }
   sim::Simulator sim;
@@ -375,8 +384,8 @@ TEST(Transport, ControlReachesHandler) {
 TEST(Transport, FactorySelectsByPlatform) {
   sim::Simulator sim;
   FakeTarget t(64);
-  Machine gm_machine(sim, mare_nostrum_gm(), {2, 1});
-  Machine lapi_machine(sim, power5_lapi(), {2, 1});
+  Machine gm_machine(sim, mare_nostrum_gm(), mc(2, 1));
+  Machine lapi_machine(sim, power5_lapi(), mc(2, 1));
   EXPECT_NE(dynamic_cast<GmTransport*>(
                 make_transport(gm_machine, t).get()),
             nullptr);

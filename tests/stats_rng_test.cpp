@@ -111,7 +111,9 @@ TEST_P(RngBelowProperty, StaysInRangeAndCoversIt) {
     seen.insert(v);
   }
   // Small bounds must be fully covered by 2000 draws.
-  if (bound <= 16) EXPECT_EQ(seen.size(), bound);
+  if (bound <= 16) {
+    EXPECT_EQ(seen.size(), bound);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RngBelowProperty,

@@ -114,6 +114,70 @@ TEST(Neighborhood, ImprovementInPaperBandOnGm) {
   EXPECT_LE(imp.improvement_pct, 28.0);
 }
 
+TEST(Neighborhood, PipelinedWindowsOverlapRemoteReads) {
+  // Batched inner loop (docs/COMM_ENGINE.md): with pipeline_depth > 1 the
+  // stencil reads issue nonblocking and the remote round trips overlap,
+  // so the run gets faster while doing the same accesses.
+  NeighborhoodParams p;
+  p.samples_per_thread = 32;
+  auto run_at = [&p](std::uint32_t depth) {
+    NeighborhoodParams q = p;
+    q.pipeline_depth = depth;
+    return run_neighborhood(config(net::TransportKind::kGm, 4, 2), q);
+  };
+  const auto d1 = run_at(1);
+  const auto d4 = run_at(4);
+  const auto d8 = run_at(8);
+  EXPECT_LT(d4.time_us, d1.time_us);
+  EXPECT_LE(d8.time_us, d4.time_us);
+  // The window was genuinely used...
+  EXPECT_GE(d4.report.counter("comm.outstanding_hwm"), 2u);
+  EXPECT_EQ(d1.report.counter("comm.outstanding_hwm"), 0u);
+  // ...and the pipelined run performed the same accesses.
+  auto gets = [](const StressResult& r) {
+    return r.counters.local_gets + r.counters.shm_gets +
+           r.counters.am_gets + r.counters.rdma_gets;
+  };
+  EXPECT_EQ(gets(d1), gets(d4));
+  EXPECT_EQ(gets(d1), gets(d8));
+}
+
+TEST(Field, PipelinedOverhangReadsOverlapTheScan) {
+  // With a deeper window a thread keeps scanning while earlier overhang
+  // probes are in flight, instead of stalling on each one — on GM that
+  // hides both the wire time and the target-CPU wait.
+  FieldParams p;
+  p.tokens = 2;
+  auto run_at = [&p](std::uint32_t depth) {
+    FieldParams q = p;
+    q.pipeline_depth = depth;
+    return run_field(config(net::TransportKind::kGm, 4, 4), q);
+  };
+  const auto d1 = run_at(1);
+  const auto d2 = run_at(2);
+  const auto d8 = run_at(8);
+  EXPECT_LT(d2.time_us, d1.time_us);
+  EXPECT_LE(d8.time_us, d2.time_us);
+  EXPECT_GE(d2.report.counter("comm.outstanding_hwm"), 2u);
+  auto gets = [](const StressResult& r) {
+    return r.counters.local_gets + r.counters.shm_gets +
+           r.counters.am_gets + r.counters.rdma_gets;
+  };
+  EXPECT_EQ(gets(d1), gets(d2));
+  EXPECT_EQ(gets(d1), gets(d8));
+}
+
+TEST(AllStressmarks, PipelinedRunsAreDeterministic) {
+  NeighborhoodParams p;
+  p.samples_per_thread = 24;
+  p.pipeline_depth = 4;
+  const auto a = run_neighborhood(config(net::TransportKind::kGm, 4, 2), p);
+  const auto b = run_neighborhood(config(net::TransportKind::kGm, 4, 2), p);
+  EXPECT_DOUBLE_EQ(a.time_us, b.time_us);
+  EXPECT_EQ(a.report.counter("comm.wait_stalls"),
+            b.report.counter("comm.wait_stalls"));
+}
+
 TEST(Field, GmBenefitsLapiDoesNot) {
   // Sec. 4.6/4.7: large improvement on GM (no comm/comp overlap);
   // "the effects of the address cache are not measurable" on LAPI.

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Whole-run determinism check (docs/COMM_ENGINE.md, docs/METRICS.md).
+#
+# Runs a benchmark twice with the same seed and verifies that both the
+# table output and the --json report are byte-identical. The default
+# subject is fig7_small_get_latency (the paper's core latency figure);
+# pipeline_depth exercises the asynchronous engine's overlapped path the
+# same way. Any nondeterminism in the simulator, the completion engine,
+# or the metrics fold shows up here as a diff.
+#
+# Usage: tools/determcheck.sh <path-to-bench-binary> [seed]
+set -eu
+
+bin=${1:?usage: determcheck.sh <bench-binary> [seed]}
+seed=${2:-1}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$bin" --seed "$seed" --json "$tmpdir/a.json" > "$tmpdir/a.txt"
+"$bin" --seed "$seed" --json "$tmpdir/b.json" > "$tmpdir/b.txt"
+
+if ! cmp -s "$tmpdir/a.json" "$tmpdir/b.json"; then
+  echo "determcheck: --json reports differ across same-seed runs" >&2
+  diff "$tmpdir/a.json" "$tmpdir/b.json" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$tmpdir/a.txt" "$tmpdir/b.txt"; then
+  echo "determcheck: table output differs across same-seed runs" >&2
+  diff "$tmpdir/a.txt" "$tmpdir/b.txt" >&2 || true
+  exit 1
+fi
+
+echo "determcheck: $(basename "$bin") seed $seed replays byte-identically"

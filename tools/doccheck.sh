@@ -18,7 +18,8 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
 
 docs="README.md DESIGN.md EXPERIMENTS.md docs/API.md docs/CALIBRATION.md \
-      docs/SIMULATOR.md docs/OBSERVABILITY.md docs/FAULTS.md"
+      docs/SIMULATOR.md docs/OBSERVABILITY.md docs/FAULTS.md \
+      docs/COMM_ENGINE.md"
 search_dirs="src bench tests examples"
 
 status=0
