@@ -80,7 +80,10 @@ Result run(bool cache_enabled) {
         double acc = 0.0;
         for (std::uint64_t k = matrix.row_ptr[r]; k < matrix.row_ptr[r + 1];
              ++k) {
-          acc += matrix.val[k] * co_await x.read(th, matrix.col[k]);
+          // Standalone initializer: gcc 12 -O0+ASan miscompiles co_await
+          // nested in a wider expression.
+          const double xk = co_await x.read(th, matrix.col[k]);
+          acc += matrix.val[k] * xk;
         }
         co_await y.write(th, r, acc);
       });
@@ -93,7 +96,10 @@ Result run(bool cache_enabled) {
       t1 = th.now();
       double sum = 0.0;
       for (std::uint64_t i = 0; i < kN; i += 97) {
-        sum += co_await x.read(th, i);
+        // Standalone initializer: gcc 12 -O0+ASan miscompiles co_await
+        // nested in a wider expression.
+        const double xi = co_await x.read(th, i);
+        sum += xi;
       }
       result.checksum = sum;
     }

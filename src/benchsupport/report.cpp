@@ -104,6 +104,19 @@ Json to_json(const core::RuntimeConfig& cfg) {
                                 cfg.faults.slowdowns.size())));
     j.set("faults", std::move(faults));
   }
+
+  // Likewise the "coalesce" key appears only when coalescing is on, so
+  // default-config sections keep their pre-coalescing bytes.
+  if (cfg.coalesce.enabled()) {
+    Json coalesce = Json::object();
+    coalesce.set("threshold", Json::number(static_cast<std::uint64_t>(
+                                  cfg.coalesce.threshold)));
+    coalesce.set("max_bytes", Json::number(static_cast<std::uint64_t>(
+                                  cfg.coalesce.max_bytes)));
+    coalesce.set("max_ops", Json::number(static_cast<std::uint64_t>(
+                                cfg.coalesce.max_ops)));
+    j.set("coalesce", std::move(coalesce));
+  }
   return j;
 }
 

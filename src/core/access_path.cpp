@@ -226,6 +226,32 @@ Task<void> AccessPath::execute(UpcThread& th, CommOp op) {
   }
 }
 
+// ========================================== coalescing eligibility ====
+
+std::optional<NodeId> AccessPath::remote_dest(const UpcThread& th,
+                                              const CommOp& op) {
+  const Layout& layout = *op.array.layout;
+  const Layout::Loc loc =
+      op.two_d ? layout.locate2d(op.row, op.col) : layout.locate(op.elem);
+  const NodeId owner = layout.node_of(loc.thread);
+  if (owner == th.node()) return std::nullopt;
+  return owner;
+}
+
+net::RdmaBatchOp AccessPath::to_batch_op(const CommOp& op) {
+  const Layout& layout = *op.array.layout;
+  const Layout::Loc loc =
+      op.two_d ? layout.locate2d(op.row, op.col) : layout.locate(op.elem);
+  net::RdmaBatchOp w;
+  w.is_get = op.kind == OpKind::kGet;
+  w.svd_handle = op.array.handle.pack();
+  w.offset = layout.node_offset(loc);
+  w.len = static_cast<std::uint32_t>(op.bytes);
+  w.target_core = layout.core_of(loc.thread);
+  if (!w.is_get) w.data.assign(op.src, op.src + op.bytes);
+  return w;
+}
+
 // ===================================================== completion ======
 
 OpHandle CompletionEngine::issue(CommOp op, bool deferred) {
@@ -242,15 +268,31 @@ OpHandle CompletionEngine::issue(CommOp op, bool deferred) {
   s.active = true;
   s.deferred = deferred;
   s.done = false;
+  s.staged = false;
   s.op = std::move(op);
   s.waiter.reset();
   s.error = nullptr;
   ++stats_.issued;
   if (!deferred) {
+    // Coalescing eligibility (docs/COALESCING.md): nonblocking, single
+    // run, bound for a remote node, payload at or below the threshold.
+    // Blocking (deferred) ops are never staged — their inline-execute
+    // timing stays byte-identical — and with the default threshold of 0
+    // nothing ever is.
+    const CoalesceConfig& cc = rt_.cfg_.coalesce;
+    std::optional<NodeId> dest;
+    if (cc.enabled() && !s.op.multi && s.op.bytes <= cc.threshold) {
+      dest = AccessPath::remote_dest(th_, s.op);
+    }
     ++outstanding_async_;
     stats_.outstanding_hwm =
         std::max(stats_.outstanding_hwm, outstanding_async_);
-    rt_.sim_.spawn(run_async(idx));
+    if (dest) {
+      s.staged = true;
+      coalescer_.stage(*dest, idx, AccessPath::to_batch_op(s.op));
+    } else {
+      rt_.sim_.spawn(run_async(idx));
+    }
   }
   return OpHandle{idx, s.gen};
 }
@@ -263,6 +305,16 @@ Task<void> CompletionEngine::run_async(std::uint32_t idx) {
     s.error = std::current_exception();
   }
   s.done = true;
+  --outstanding_async_;
+  if (s.waiter) s.waiter->fire();
+}
+
+void CompletionEngine::complete_staged(std::uint32_t idx,
+                                       std::exception_ptr err) {
+  Slot& s = slots_[idx];
+  s.error = err;
+  s.done = true;
+  s.staged = false;
   --outstanding_async_;
   if (s.waiter) s.waiter->fire();
 }
@@ -289,6 +341,11 @@ Task<void> CompletionEngine::wait(OpHandle h) {
     co_return;
   }
   Slot& s = slots_[h.slot];
+  if (s.staged && !s.done) {
+    // Flush-on-wait: the handle is parked in a staging buffer — ship the
+    // whole buffer now and then wait for the batch like any async op.
+    coalescer_.flush_containing(h.slot, FlushReason::kWait);
+  }
   if (!s.done) {
     ++stats_.wait_stalls;
     s.waiter = std::make_unique<sim::Trigger>(rt_.sim_);
@@ -300,6 +357,9 @@ Task<void> CompletionEngine::wait(OpHandle h) {
 }
 
 Task<void> CompletionEngine::wait_all() {
+  // Flush-on-fence: fence() and wait_all() ship every staging buffer
+  // before retiring the outstanding handles.
+  coalescer_.flush_all(FlushReason::kFence);
   for (std::uint32_t i = 0; i < slots_.size(); ++i) {
     if (!slots_[i].active) continue;
     co_await wait(OpHandle{i, slots_[i].gen});

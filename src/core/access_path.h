@@ -17,11 +17,14 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "common/types.h"
 #include "core/api.h"
+#include "core/coalescing_engine.h"
+#include "net/message.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 
@@ -91,6 +94,18 @@ class AccessPath {
   sim::Task<void> put_span(UpcThread& th, const ArrayDesc& a, Layout::Loc loc,
                            std::span<const std::byte> src);
 
+  // --- coalescing routing helpers (docs/COALESCING.md) ---
+  /// The remote node a single-run op is bound for, or nullopt when the
+  /// element is owned by the calling thread's own node (local/shm tiers
+  /// are never staged).
+  static std::optional<NodeId> remote_dest(const UpcThread& th,
+                                           const CommOp& op);
+  /// Translate a staged CommOp into its aggregated-batch wire form (SVD
+  /// handle + node offset; PUT payloads are copied out at stage time, so
+  /// the user buffer is reusable immediately — same local-completion
+  /// semantics as the eager AM path).
+  static net::RdmaBatchOp to_batch_op(const CommOp& op);
+
  private:
   Runtime& rt_;
 };
@@ -115,8 +130,19 @@ class CompletionEngine {
   /// Retires the slot; waiting on a spent or invalid handle is a no-op.
   sim::Task<void> wait(OpHandle h);
 
-  /// wait() every live handle of this thread, oldest slot first.
+  /// wait() every live handle of this thread, oldest slot first. Flushes
+  /// every staging buffer first (flush-on-fence semantics).
   sim::Task<void> wait_all();
+
+  // --- small-message coalescing surface (docs/COALESCING.md) ---
+  /// Ship the staging buffer bound for `dest` now (explicit flush).
+  void flush(NodeId dest) { coalescer_.flush(dest, FlushReason::kExplicit); }
+  /// Ship every staging buffer of this thread (explicit flush; also the
+  /// end-of-run safety net for unwaited staged ops).
+  void flush_all() { coalescer_.flush_all(FlushReason::kExplicit); }
+  const CoalesceStats& coalesce_stats() const noexcept {
+    return coalescer_.stats();
+  }
 
   /// PUT remote-completion tracking (fence checkpoint semantics).
   void note_put_issued() { ++outstanding_puts_; }
@@ -125,20 +151,31 @@ class CompletionEngine {
 
   std::uint64_t outstanding() const noexcept { return outstanding_async_; }
   const CommStats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = CommStats{}; }
+  void reset_stats() {
+    stats_ = CommStats{};
+    coalescer_.reset_stats();
+  }
 
  private:
+  friend class CoalescingEngine;
+
   struct Slot {
     std::uint64_t gen = 0;
     bool active = false;
     bool deferred = false;
     bool done = false;
+    bool staged = false;  ///< parked in a coalescing buffer / in a batch
     CommOp op;
     std::unique_ptr<sim::Trigger> waiter;
     std::exception_ptr error;
   };
 
   sim::Task<void> run_async(std::uint32_t idx);
+  /// Batch completion callback: the CoalescingEngine retires the whole
+  /// aggregated message while each member's OpHandle stays valid — this
+  /// marks one member slot done (with the batch's error, if any) and
+  /// wakes its waiter.
+  void complete_staged(std::uint32_t idx, std::exception_ptr err);
   void retire(std::uint32_t idx);
 
   Runtime& rt_;
@@ -154,6 +191,9 @@ class CompletionEngine {
   // PUT remote-completion tracking for fence()/drain_puts().
   std::uint64_t outstanding_puts_ = 0;
   std::unique_ptr<sim::Trigger> fence_trigger_;
+
+  // Small-message staging buffers (inert unless cfg.coalesce is on).
+  CoalescingEngine coalescer_{rt_, th_, *this};
 };
 
 }  // namespace xlupc::core

@@ -44,6 +44,25 @@ struct CacheConfig {
   bool full_table = false;
 };
 
+/// Small-message coalescing configuration (docs/COALESCING.md). Off by
+/// default (`threshold == 0`): every existing run is byte-identical to a
+/// build without the CoalescingEngine. When on, nonblocking single-element
+/// ops of at most `threshold` bytes bound for a remote node are staged in
+/// a per-(thread, destination) buffer and shipped as one aggregated wire
+/// message, flushed on a watermark (`max_bytes`/`max_ops`), on fence(),
+/// on wait() of a contained handle, or on an explicit flush(dest).
+struct CoalesceConfig {
+  /// Ops with payload <= threshold bytes are staged; 0 disables coalescing.
+  std::uint32_t threshold = 0;
+  /// Watermark: flush the destination's buffer once it carries this many
+  /// payload+descriptor bytes...
+  std::uint32_t max_bytes = 2048;
+  /// ...or this many member ops, whichever trips first.
+  std::uint32_t max_ops = 16;
+
+  bool enabled() const noexcept { return threshold > 0; }
+};
+
 struct RuntimeConfig {
   net::PlatformParams platform;
   std::uint32_t nodes = 2;
@@ -58,6 +77,8 @@ struct RuntimeConfig {
   /// null plan disables fault injection entirely: runs are byte-identical
   /// to a build without the fault layer.
   sim::FaultParams faults;
+  /// Small-message coalescing knobs (docs/COALESCING.md); default off.
+  CoalesceConfig coalesce;
 
   std::uint32_t threads() const noexcept { return nodes * threads_per_node; }
 };

@@ -71,7 +71,10 @@ class Collective {
       }
       co_await th.barrier();
     }
-    co_return co_await broadcast(th, co_await read_slot(th, root), root);
+    // Standalone initializer: gcc 12 -O0+ASan miscompiles co_await
+    // nested in a wider expression.
+    const T total = co_await read_slot(th, root);
+    co_return co_await broadcast(th, total, root);
   }
 
   /// Gather one value per thread; every thread returns the full vector,

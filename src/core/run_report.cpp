@@ -106,13 +106,39 @@ RunReport Runtime::metrics() {
   reg.set("comm.outstanding_hwm", comm_hwm);
   reg.set("comm.wait_stalls", comm_stalls);
 
+  // --- small-message coalescing (docs/COALESCING.md) ---
+  // Folded only when coalescing is enabled, so default-config reports
+  // stay byte-identical to builds that predate the CoalescingEngine.
+  if (cfg_.coalesce.enabled()) {
+    CoalesceStats co;
+    for (const auto& th : threads_) {
+      const CoalesceStats& s = th->coalesce_stats();
+      co.staged_ops += s.staged_ops;
+      co.batches += s.batches;
+      co.batched_bytes += s.batched_bytes;
+      co.flush_watermark += s.flush_watermark;
+      co.flush_fence += s.flush_fence;
+      co.flush_wait += s.flush_wait;
+      co.flush_explicit += s.flush_explicit;
+      co.max_batch_ops = std::max(co.max_batch_ops, s.max_batch_ops);
+    }
+    reg.set("comm.coalesce.staged_ops", co.staged_ops);
+    reg.set("comm.coalesce.batches", co.batches);
+    reg.set("comm.coalesce.batched_bytes", co.batched_bytes);
+    reg.set("comm.coalesce.flush.watermark", co.flush_watermark);
+    reg.set("comm.coalesce.flush.fence", co.flush_fence);
+    reg.set("comm.coalesce.flush.wait", co.flush_wait);
+    reg.set("comm.coalesce.flush.explicit", co.flush_explicit);
+    reg.set("comm.coalesce.max_batch_ops", co.max_batch_ops);
+  }
+
   // --- transport layer: messages by protocol, registration caches ---
   // TransportStats::fold_into is the single source of the registry
   // mapping for transport-owned counters (transport.*, and the
   // fault.*/reliability.* names the protocol engine feeds); the struct
   // and the registry cannot drift (metrics_test asserts equality).
   const net::TransportStats& ts = transport_->stats();
-  ts.fold_into(reg, machine_.faults().enabled());
+  ts.fold_into(reg, machine_.faults().enabled(), cfg_.coalesce.enabled());
   std::uint64_t rc_hits = 0, rc_misses = 0, rc_evictions = 0;
   std::uint64_t rc_resident = 0;
   for (NodeId n = 0; n < cfg_.nodes; ++n) {

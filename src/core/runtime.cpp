@@ -91,6 +91,12 @@ namespace {
 Task<void> thread_main(Runtime::ThreadBody body, UpcThread* th,
                        sim::CountdownLatch* latch) {
   co_await body(*th);
+  // End-of-run safety for coalescing: ops still parked in staging
+  // buffers are shipped now, so an unwaited nonblocking op is applied by
+  // the end of run() exactly as its uncoalesced runner coroutine would
+  // have been (sim_.run() drains the spawned batches). No-op by
+  // construction when coalescing is off.
+  th->flush_all();
   latch->count_down();
 }
 }  // namespace

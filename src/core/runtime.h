@@ -127,6 +127,16 @@ class UpcThread {
   }
   const CommStats& comm_stats() const noexcept { return completion_.stats(); }
 
+  // --- small-message coalescing (docs/COALESCING.md) ---
+  /// Ship the coalescing buffer bound for `dest` now. No-op when nothing
+  /// is staged (and always when coalescing is off).
+  void flush(NodeId dest) { completion_.flush(dest); }
+  /// Ship every coalescing buffer of this thread.
+  void flush_all() { completion_.flush_all(); }
+  const CoalesceStats& coalesce_stats() const noexcept {
+    return completion_.coalesce_stats();
+  }
+
   template <class T>
   sim::Task<T> read(const ArrayDesc& a, std::uint64_t i);
   template <class T>
@@ -269,6 +279,7 @@ class Runtime final : public net::AmTarget {
   friend class UpcThread;
   friend class AccessPath;
   friend class CompletionEngine;
+  friend class CoalescingEngine;
 
   struct LockState {
     bool held = false;

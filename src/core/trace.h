@@ -29,6 +29,7 @@ enum class TracePath : std::uint8_t {
   kShm,    ///< same-node, cross-thread
   kAm,     ///< remote, default SVD (Active Message) path
   kRdma,   ///< remote, address-cache hit -> one-sided RDMA
+  kBatch,  ///< remote, staged and shipped in an aggregated batch
   kNone,   ///< not a data access (barrier/lock)
 };
 

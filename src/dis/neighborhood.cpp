@@ -69,8 +69,10 @@ StressResult run_neighborhood(core::RuntimeConfig cfg,
       for (std::size_t i = 0; i < ne; ++i) {
         if (np.pipeline_depth <= 1) {
           // Original blocking loop: each read's full round trip is paid
-          // before the next one issues.
-          checksum += co_await th.read<std::int32_t>(arr, elems[i]);
+          // before the next one issues. (Standalone initializer: gcc 12
+          // -O0+ASan miscompiles co_await nested in a wider expression.)
+          const std::int32_t v = co_await th.read<std::int32_t>(arr, elems[i]);
+          checksum += v;
         } else {
           // Pipelined: retire the oldest handle once the window is full,
           // then issue the next read nonblocking.

@@ -12,6 +12,7 @@ using core::UpcThread;
 using sim::Task;
 
 StressResult run_pointer(core::RuntimeConfig cfg, const PointerParams& pp) {
+  if (pp.coalesce.enabled()) cfg.coalesce = pp.coalesce;
   core::Runtime rt(std::move(cfg));
   const std::uint64_t n = pp.elems_per_thread * rt.threads();
   sim::Time t0 = 0;
@@ -40,10 +41,40 @@ StressResult run_pointer(core::RuntimeConfig cfg, const PointerParams& pp) {
     co_await th.barrier();
     if (th.id() == 0) t0 = th.now();
 
-    std::uint64_t pos = th.rng().below(n);
-    for (std::uint32_t h = 0; h < pp.hops; ++h) {
-      pos = co_await th.read<std::uint64_t>(arr, pos) % n;
-      co_await th.compute(pp.work_per_hop);
+    if (pp.pipeline_depth <= 1) {
+      // Original blocking hop loop (byte-identical timings).
+      std::uint64_t pos = th.rng().below(n);
+      for (std::uint32_t h = 0; h < pp.hops; ++h) {
+        // The await must be a standalone initializer: gcc 12 -O0+ASan
+        // miscompiles co_await nested in a wider expression (the value
+        // read after resume is wrong), silently corrupting the hop
+        // sequence.
+        const std::uint64_t succ = co_await th.read<std::uint64_t>(arr, pos);
+        pos = succ % n;
+        co_await th.compute(pp.work_per_hop);
+      }
+    } else {
+      // Pointer chasing is serially dependent, so a single chain cannot
+      // pipeline; instead follow pipeline_depth *independent* chains and
+      // issue each round's hops nonblocking (with coalescing on, one
+      // round's same-destination hops share an aggregated batch). Each
+      // round advances every chain by one hop.
+      const std::uint32_t chains = std::min(pp.pipeline_depth, pp.hops);
+      const std::uint32_t rounds = pp.hops / chains;
+      std::vector<std::uint64_t> pos(chains), val(chains);
+      std::vector<core::OpHandle> hs(chains);
+      for (auto& v : pos) v = th.rng().below(n);
+      for (std::uint32_t round = 0; round < rounds; ++round) {
+        for (std::uint32_t c = 0; c < chains; ++c) {
+          hs[c] = th.get_nb(
+              arr, pos[c], std::as_writable_bytes(std::span(&val[c], 1)));
+        }
+        for (std::uint32_t c = 0; c < chains; ++c) {
+          co_await th.wait(hs[c]);
+          pos[c] = val[c] % n;
+        }
+        co_await th.compute(pp.work_per_hop * chains);
+      }
     }
 
     co_await th.barrier();

@@ -21,6 +21,14 @@ struct PointerParams {
   /// Start from a steady-state (warm) cache; disable to observe cold
   /// population behaviour.
   bool warm_cache = true;
+  /// Follow this many *independent* pointer chains concurrently through
+  /// the nonblocking engine (each chain is still serially dependent).
+  /// 1 keeps the original blocking loop byte-identical.
+  std::uint32_t pipeline_depth = 1;
+  /// Small-message coalescing knobs (docs/COALESCING.md); applied to the
+  /// runtime when enabled — every hop is an 8-byte GET, the exact
+  /// fine-grained regime aggregation targets.
+  core::CoalesceConfig coalesce;
 };
 
 StressResult run_pointer(core::RuntimeConfig cfg, const PointerParams& p);

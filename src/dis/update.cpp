@@ -12,6 +12,7 @@ using core::UpcThread;
 using sim::Task;
 
 StressResult run_update(core::RuntimeConfig cfg, const UpdateParams& up) {
+  if (up.coalesce.enabled()) cfg.coalesce = up.coalesce;
   core::Runtime rt(std::move(cfg));
   const std::uint64_t n = up.elems_per_thread * rt.threads();
   sim::Time t0 = 0;
@@ -43,19 +44,51 @@ StressResult run_update(core::RuntimeConfig cfg, const UpdateParams& up) {
       t0 = th.now();
       std::uint64_t pos = th.rng().below(n);
       const std::uint64_t stride = n / (up.reads_per_hop + 1) + 1;
-      for (std::uint32_t h = 0; h < up.hops; ++h) {
-        std::uint64_t acc = 0;
-        std::uint64_t next = pos;
-        for (std::uint32_t r = 0; r < up.reads_per_hop; ++r) {
-          const std::uint64_t idx = (pos + r * stride) % n;
-          const std::uint64_t v =
-              co_await th.read<std::uint64_t>(arr, idx);
-          acc ^= v;
-          if (r == 0) next = v % n;
+      if (up.pipeline_depth <= 1) {
+        // Original blocking hop loop (byte-identical timings).
+        for (std::uint32_t h = 0; h < up.hops; ++h) {
+          std::uint64_t acc = 0;
+          std::uint64_t next = pos;
+          for (std::uint32_t r = 0; r < up.reads_per_hop; ++r) {
+            const std::uint64_t idx = (pos + r * stride) % n;
+            const std::uint64_t v =
+                co_await th.read<std::uint64_t>(arr, idx);
+            acc ^= v;
+            if (r == 0) next = v % n;
+          }
+          co_await th.write<std::uint64_t>(arr, pos, acc);
+          co_await th.compute(up.work_per_hop);
+          pos = next;
         }
-        co_await th.write<std::uint64_t>(arr, pos, acc);
-        co_await th.compute(up.work_per_hop);
-        pos = next;
+      } else {
+        // Pipelined hops: each hop's reads go through the nonblocking
+        // engine, at most pipeline_depth in flight (and, with coalescing
+        // on, staged into aggregated batches). The XOR accumulation is
+        // order-independent, and the hop chain still serializes on read
+        // r==0, so results match the blocking loop exactly.
+        std::vector<std::uint64_t> vals(up.reads_per_hop);
+        std::vector<core::OpHandle> win;
+        win.reserve(up.pipeline_depth);
+        for (std::uint32_t h = 0; h < up.hops; ++h) {
+          for (std::uint32_t r = 0; r < up.reads_per_hop; ++r) {
+            const std::uint64_t idx = (pos + r * stride) % n;
+            win.push_back(th.get_nb(
+                arr, idx,
+                std::as_writable_bytes(std::span(&vals[r], 1))));
+            if (win.size() >= up.pipeline_depth) {
+              for (core::OpHandle handle : win) co_await th.wait(handle);
+              win.clear();
+            }
+          }
+          for (core::OpHandle handle : win) co_await th.wait(handle);
+          win.clear();
+          std::uint64_t acc = 0;
+          for (const std::uint64_t v : vals) acc ^= v;
+          const std::uint64_t next = vals[0] % n;
+          co_await th.write<std::uint64_t>(arr, pos, acc);
+          co_await th.compute(up.work_per_hop);
+          pos = next;
+        }
       }
     }
     co_await th.barrier();

@@ -20,6 +20,14 @@ struct UpdateParams {
   sim::Duration work_per_hop = sim::us(12.0);
   NodeId observe_node = 0;
   bool warm_cache = true;  ///< start from a steady-state cache
+  /// Issue each hop's reads through the nonblocking engine, at most this
+  /// many in flight (docs/COMM_ENGINE.md). 1 keeps the original blocking
+  /// loop byte-identical.
+  std::uint32_t pipeline_depth = 1;
+  /// Small-message coalescing knobs (docs/COALESCING.md); applied to the
+  /// runtime when enabled. The paper's small-strided-access workload is
+  /// where aggregation should show its win.
+  core::CoalesceConfig coalesce;
 };
 
 StressResult run_update(core::RuntimeConfig cfg, const UpdateParams& p);

@@ -60,6 +60,41 @@ struct PutAck {
   std::optional<BaseInfo> base;
 };
 
+// --- aggregated small-op batches (docs/COALESCING.md) ---
+
+/// One member operation of an aggregated batch. Members carry the same
+/// SVD-handle + offset addressing as the AM path (translation happens in
+/// the target-side handler, per leg); PUT members carry their payload
+/// inline, GET members get their data back in the RdmaBatchResult.
+struct RdmaBatchOp {
+  bool is_get = true;
+  std::uint64_t svd_handle = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+  std::uint32_t target_core = 0;  ///< core owning the member's UPC thread
+  std::vector<std::byte> data;    ///< PUT payload (empty for GETs)
+};
+
+/// Aggregated wire message: many small operations bound for one node,
+/// sent as a single framed message through the reliability layer. A
+/// retransmitted batch leg is applied at most once (the ProtocolEngine's
+/// sequence-number window suppresses late duplicates), so member ops can
+/// never be duplicate-applied.
+struct RdmaBatch {
+  std::vector<RdmaBatchOp> ops;
+
+  std::size_t size() const noexcept { return ops.size(); }
+};
+
+/// Reply to an RdmaBatch: the GET members' payloads, in batch order.
+struct RdmaBatchResult {
+  std::vector<std::vector<std::byte>> get_data;
+};
+
+/// Wire size of one batch member's descriptor (handle + offset + length
+/// framing inside the aggregated message).
+inline constexpr std::size_t kBatchMemberBytes = 24;
+
 // --- control-plane messages (SVD maintenance, locks) ---
 
 /// Wire form of an array distribution (enough for any node to rebuild the

@@ -42,8 +42,35 @@ const TransportStats& Transport::stats() const noexcept {
   return merged_stats_;
 }
 
-void TransportStats::fold_into(sim::MetricsRegistry& reg,
-                               bool faults_enabled) const {
+AmTarget::BatchServe AmTarget::serve_batch(NodeId target, RdmaBatch&& batch) {
+  // Default routing: each member goes through the ordinary AM handlers
+  // with want_base=false — batch members never populate the initiator's
+  // remote address cache, so the one-sided RDMA tiers are unaffected.
+  BatchServe out;
+  for (auto& op : batch.ops) {
+    if (op.is_get) {
+      GetRequest req;
+      req.svd_handle = op.svd_handle;
+      req.offset = op.offset;
+      req.len = op.len;
+      req.want_base = false;
+      req.target_core = op.target_core;
+      out.get_data.push_back(std::move(serve_get(target, req).data));
+    } else {
+      PutRequest req;
+      req.svd_handle = op.svd_handle;
+      req.offset = op.offset;
+      req.data = std::move(op.data);
+      req.want_base = false;
+      req.target_core = op.target_core;
+      serve_put(target, std::move(req));
+    }
+  }
+  return out;
+}
+
+void TransportStats::fold_into(sim::MetricsRegistry& reg, bool faults_enabled,
+                               bool coalescing_enabled) const {
   reg.set("transport.gets.eager", am_gets);
   reg.set("transport.gets.rendezvous", rendezvous_gets);
   reg.set("transport.puts.eager", am_puts);
@@ -53,6 +80,13 @@ void TransportStats::fold_into(sim::MetricsRegistry& reg,
   reg.set("transport.rdma.naks", rdma_naks);
   reg.set("transport.control_msgs", control_msgs);
   reg.set("transport.wire_bytes", wire_bytes);
+  // Folded only when the CoalescingEngine is enabled, so coalescing-off
+  // reports stay byte-identical to builds that predate the batch layer.
+  if (coalescing_enabled) {
+    reg.set("transport.batch_msgs", batch_msgs);
+    reg.set("transport.batched_gets", batched_gets);
+    reg.set("transport.batched_puts", batched_puts);
+  }
   // Folded only when a FaultPlan is enabled, so fault-free reports stay
   // byte-identical to builds that predate the fault layer.
   if (faults_enabled) {
@@ -478,6 +512,79 @@ Task<void> Transport::control(Initiator from, NodeId dst, ControlMsg msg) {
   auto& hcpu = handler_cpu(dst, 0);
   co_await hcpu.use(scaled(dst, p.recv_overhead));
   target_.serve_control(dst, from.node, msg);
+}
+
+// -------------------------------------------------- aggregated batches ---
+
+Task<RdmaBatchResult> Transport::rdma_batch(Initiator from, NodeId dst,
+                                            RdmaBatch batch) {
+  ++stats_.batch_msgs;
+  auto& sim = machine_.simulator();
+  const auto& p = machine_.params();
+
+  std::size_t put_bytes = 0, get_bytes = 0;
+  Duration unpack = 0;  // per-leg unpack cost at the target
+  for (const auto& op : batch.ops) {
+    if (op.is_get) {
+      ++stats_.batched_gets;
+      get_bytes += op.len;
+    } else {
+      ++stats_.batched_puts;
+      put_bytes += op.data.size();
+    }
+    unpack += p.svd_lookup + p.copy_time(op.len);
+  }
+  const std::size_t fwd_bytes =
+      kBatchMemberBytes * batch.size() + put_bytes;
+
+  // Initiator: pack the member descriptors and PUT payloads into one send
+  // bounce buffer (a single send_overhead amortised over every member —
+  // the aggregation win), then inject the framed message.
+  Duration pack = p.send_overhead;
+  if (put_bytes > 0) pack += p.copy_time(put_bytes);
+  co_await machine_.core(from.node, from.core).use(pack);
+  co_await machine_.nic_tx(from.node)
+      .use(p.nic_tx_overhead + machine_.serialize_with_header(fwd_bytes));
+  stats_.wire_bytes += p.header_bytes + fwd_bytes;
+  co_await deliver(
+      from.node, dst, &machine_.nic_tx(from.node),
+      p.nic_tx_overhead + machine_.serialize_with_header(fwd_bytes),
+      p.header_bytes + fwd_bytes);
+
+  // Target: one dispatch, then each member is unpacked and applied on the
+  // handler CPU in turn (svd_lookup + copy per leg). Because GM's handler
+  // CPU is the application core itself, the per-leg cost still steals
+  // compute time there — the paper's no-overlap effect is preserved per
+  // member, only the per-message envelope is amortised. The batch is
+  // applied exactly once, after deliver() has accepted the leg: a
+  // retransmitted copy is suppressed by the ProtocolEngine's sequence
+  // window before it ever reaches this point, so member ops can never be
+  // duplicate-applied.
+  auto& hcpu = handler_cpu(dst, batch.ops.empty() ? 0
+                                                  : batch.ops.front().target_core);
+  co_await hcpu.acquire();
+  co_await sim.delay(scaled(dst, p.recv_overhead));
+  co_await sim.delay(scaled(dst, unpack));
+  auto serve = target_.serve_batch(dst, std::move(batch));
+  hcpu.release();
+
+  // Single reply carrying every GET member's data (ack-only when the
+  // batch held no GETs).
+  co_await machine_.nic_tx(dst).use(
+      p.nic_tx_overhead + machine_.serialize_with_header(get_bytes));
+  stats_.wire_bytes += p.header_bytes + get_bytes;
+  co_await deliver(
+      dst, from.node, &machine_.nic_tx(dst),
+      p.nic_tx_overhead + machine_.serialize_with_header(get_bytes),
+      p.header_bytes + get_bytes);
+
+  // Initiator: one receive dispatch, then scatter the GET payloads out of
+  // the bounce buffer.
+  Duration recv_cost = p.recv_overhead;
+  if (get_bytes > 0) recv_cost += p.copy_time(get_bytes);
+  co_await machine_.core(from.node, from.core).use(recv_cost);
+
+  co_return RdmaBatchResult{std::move(serve.get_data)};
 }
 
 std::unique_ptr<Transport> make_transport(Machine& machine, AmTarget& target) {

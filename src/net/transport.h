@@ -107,8 +107,20 @@ class AmTarget {
     std::size_t reg_evicted_handles = 0;
   };
 
+  /// Result of applying an aggregated batch: the GET members' data, in
+  /// batch order (docs/COALESCING.md).
+  struct BatchServe {
+    std::vector<std::vector<std::byte>> get_data;
+  };
+
   virtual GetServe serve_get(NodeId target, const GetRequest& req) = 0;
   virtual PutServe serve_put(NodeId target, PutRequest&& req) = 0;
+
+  /// Apply every member of an aggregated batch at the target, in batch
+  /// order. The default implementation routes each member through
+  /// serve_get/serve_put with no base-address piggyback — batch members
+  /// never touch the remote address cache.
+  virtual BatchServe serve_batch(NodeId target, RdmaBatch&& batch);
   virtual void serve_control(NodeId target, NodeId source,
                              const ControlMsg& msg) = 0;
 
@@ -143,6 +155,13 @@ struct TransportStats {
   std::uint64_t control_msgs = 0;
   std::uint64_t wire_bytes = 0;
 
+  // Small-op coalescing (docs/COALESCING.md). All zero unless the
+  // CoalescingEngine is enabled; folded into the registry only then, so
+  // coalescing-off reports stay byte-identical to pre-batch builds.
+  std::uint64_t batch_msgs = 0;    ///< aggregated wire messages sent
+  std::uint64_t batched_gets = 0;  ///< GET members carried in batches
+  std::uint64_t batched_puts = 0;  ///< PUT members carried in batches
+
   // Reliability layer (docs/FAULTS.md), mirrored from ProtocolStats. All
   // zero unless a FaultPlan is enabled, except bounce_fallbacks, which
   // also covers registration requests larger than the whole DMAable
@@ -157,11 +176,13 @@ struct TransportStats {
   std::uint64_t bounce_fallbacks = 0; ///< transfers staged via bounce bufs
 
   /// Fold this struct into `reg` under the stable dotted names of the
-  /// observability taxonomy (`transport.*`, and — when `faults_enabled`
-  /// — the transport-owned subset of `fault.*` / `reliability.*`). The
-  /// single fold point is what keeps the struct and the registry from
-  /// drifting; metrics_test additionally asserts field-by-field equality.
-  void fold_into(sim::MetricsRegistry& reg, bool faults_enabled) const;
+  /// observability taxonomy (`transport.*`; when `faults_enabled`, the
+  /// transport-owned subset of `fault.*` / `reliability.*`; when
+  /// `coalescing_enabled`, the `transport.batch_*` family). The single
+  /// fold point is what keeps the struct and the registry from drifting;
+  /// metrics_test additionally asserts field-by-field equality.
+  void fold_into(sim::MetricsRegistry& reg, bool faults_enabled,
+                 bool coalescing_enabled = false) const;
 };
 
 /// Identifies the initiating UPC thread's seat in the machine.
@@ -203,6 +224,14 @@ class Transport {
   sim::Task<RdmaPutResult> rdma_put(Initiator from, NodeId dst, Addr raddr,
                                     std::vector<std::byte> data,
                                     std::function<void()> on_done);
+
+  /// Aggregated small-op batch (docs/COALESCING.md): one framed wire
+  /// message carrying every member, unpacked per leg on the handler CPU
+  /// at the target (so GM's no-overlap effect applies to each member),
+  /// applied in batch order, with the GET members' data returned in one
+  /// reply. Completes when the reply is available at the initiator.
+  sim::Task<RdmaBatchResult> rdma_batch(Initiator from, NodeId dst,
+                                        RdmaBatch batch);
 
   /// Small control AM (SVD maintenance, lock protocol). Completes when the
   /// message has been handled at the target.

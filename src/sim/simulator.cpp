@@ -5,6 +5,14 @@
 
 namespace xlupc::sim {
 
+Simulator::~Simulator() {
+  // Processes still suspended (an exception aborted run() before the
+  // queue drained) would otherwise leak their coroutine frames; queued
+  // callbacks and synchronizer waiter lists hold the handles non-owning,
+  // so destroying each driver frame here releases its whole chain.
+  while (!drivers_.empty()) drivers_.front().destroy();
+}
+
 void Simulator::schedule_at(Time t, EventQueue::Callback fn) {
   if (t < now_) {
     throw std::logic_error("Simulator::schedule_at: time in the past");

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <list>
 
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
@@ -23,6 +24,7 @@ class Simulator {
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
   /// Current simulated time.
   Time now() const noexcept { return now_; }
@@ -83,11 +85,26 @@ class Simulator {
  private:
   struct Detached {
     struct promise_type {
-      Detached get_return_object() const noexcept { return {}; }
+      // The driver registers itself with its simulator so frames still
+      // suspended when the simulator dies (an aborted run leaves them
+      // parked in the queue/synchronizers) can be destroyed instead of
+      // leaked; each frame owns its awaited Task chain.
+      promise_type(Simulator& sim, Task<>&) noexcept : sim_(&sim) {}
+      ~promise_type() { sim_->drivers_.erase(pos_); }
+      Detached get_return_object() {
+        pos_ = sim_->drivers_.insert(
+            sim_->drivers_.end(),
+            std::coroutine_handle<promise_type>::from_promise(*this));
+        return {};
+      }
       std::suspend_never initial_suspend() const noexcept { return {}; }
       std::suspend_never final_suspend() const noexcept { return {}; }
       void return_void() const noexcept {}
       void unhandled_exception() { std::terminate(); }
+
+     private:
+      Simulator* sim_;
+      std::list<std::coroutine_handle<>>::iterator pos_;
     };
   };
   Detached drive(Task<> task);
@@ -98,6 +115,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t live_ = 0;
   std::exception_ptr failure_;
+  std::list<std::coroutine_handle<>> drivers_;
   MetricsRegistry metrics_;
 };
 

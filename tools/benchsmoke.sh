@@ -1,0 +1,67 @@
+#!/bin/sh
+# Benchmark smoke run (docs/OBSERVABILITY.md, .github/workflows/ci.yml).
+#
+# Runs every benchmark binary under <build-dir>/bench once with a fixed
+# seed and a --json report, and fails if any bench exits nonzero, writes
+# no report, or writes malformed JSON. The bench configs are already
+# tiny (the full set completes in about a minute), so this doubles as
+# the CI gate that every figure/table generator still runs end-to-end.
+# micro_datastructures is excluded: it is a google-benchmark binary with
+# no --seed/--json surface.
+#
+# Reports land in $BENCHSMOKE_OUT when set (CI uploads them as
+# artifacts), otherwise in a throwaway temp dir.
+#
+# Usage: tools/benchsmoke.sh <build-dir> [seed]
+set -eu
+
+build=${1:?usage: benchsmoke.sh <build-dir> [seed]}
+seed=${2:-1}
+
+if [ -n "${BENCHSMOKE_OUT:-}" ]; then
+  outdir=$BENCHSMOKE_OUT
+  mkdir -p "$outdir"
+else
+  outdir=$(mktemp -d)
+  trap 'rm -rf "$outdir"' EXIT
+fi
+
+json_check=none
+if command -v python3 >/dev/null 2>&1; then
+  json_check=python3
+fi
+
+count=0
+failed=0
+for bin in "$build"/bench/*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  [ "$name" = "micro_datastructures" ] && continue
+  count=$((count + 1))
+  if ! "$bin" --seed "$seed" --json "$outdir/$name.json" \
+      > "$outdir/$name.txt" 2> "$outdir/$name.err"; then
+    echo "benchsmoke: $name exited nonzero" >&2
+    cat "$outdir/$name.err" >&2
+    failed=1
+    continue
+  fi
+  if [ ! -s "$outdir/$name.json" ]; then
+    echo "benchsmoke: $name wrote no JSON report" >&2
+    failed=1
+    continue
+  fi
+  if [ "$json_check" = "python3" ] &&
+      ! python3 -m json.tool "$outdir/$name.json" > /dev/null; then
+    echo "benchsmoke: $name produced malformed JSON" >&2
+    failed=1
+    continue
+  fi
+  echo "benchsmoke: $name ok"
+done
+
+if [ "$count" -eq 0 ]; then
+  echo "benchsmoke: no bench binaries under $build/bench" >&2
+  exit 1
+fi
+[ "$failed" -eq 0 ] || exit 1
+echo "benchsmoke: $count benches, all reports valid (seed $seed)"
