@@ -10,6 +10,7 @@
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using bench::fmt;
@@ -42,8 +43,8 @@ int main(int argc, char** argv) {
   {
     bench::Table table({"size (B)", "GM greedy %", "GM chunked %",
                         "LAPI greedy %", "LAPI chunked %"});
-    const auto gm = net::mare_nostrum_gm();
-    const auto lapi = net::power5_lapi();
+    const auto gm = net::make_machine("gm");
+    const auto lapi = net::make_machine("lapi");
     for (std::size_t size : {8ul, 1024ul, 8192ul, 262144ul}) {
       table.row(
           {std::to_string(size),
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
     for (auto strategy :
          {mem::PinStrategy::kGreedy, mem::PinStrategy::kChunked}) {
       core::RuntimeConfig cfg;
-      cfg.platform = net::power5_lapi();
+      cfg.platform = net::make_machine("lapi");
       cfg.nodes = 2;
       cfg.threads_per_node = 1;
       cfg.pin_strategy = strategy;

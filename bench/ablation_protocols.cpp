@@ -9,11 +9,13 @@
 // rendezvous path pays its registration cost every time (no registration
 // cache reuse) — the single-shot regime these protocols are tuned for.
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
+#include "net/machine_registry.h"
 #include "sim/stats.h"
 
 using namespace xlupc;
@@ -69,8 +71,8 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> sizes = {256,    1024,   4096,    16384,
                                           65536,  262144, 1048576};
   core::RunReport representative;
-  for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
-    const auto platform = net::preset(kind);
+  for (std::string_view machine : {"gm", "lapi"}) {
+    const auto platform = net::make_machine(machine);
     std::printf("%s\n\n", platform.name.c_str());
     bench::Table table(
         {"size (B)", "eager (us)", "rndv (us)", "faster", "default"});
@@ -79,7 +81,7 @@ int main(int argc, char** argv) {
       const double eager = fresh_region_latency_us(platform, 1 << 30, size);
       // Metrics: forced-rendezvous 64 KB GETs on GM (registration cost
       // visible in regcache.misses / pin.registrations).
-      const bool keep = kind == net::TransportKind::kGm && size == 65536;
+      const bool keep = machine == "gm" && size == 65536;
       const double rndv = fresh_region_latency_us(
           platform, 0, size, keep ? &representative : nullptr);
       if (crossover == 0 && rndv < eager) crossover = size;
@@ -88,7 +90,7 @@ int main(int argc, char** argv) {
                  rndv < eager ? "rndv" : "eager", def});
     }
     table.print();
-    rep.results(table, kind == net::TransportKind::kGm ? "gm" : "lapi");
+    rep.results(table, machine == "gm" ? "gm" : "lapi");
     if (crossover != 0) {
       std::printf("  first rendezvous win at %zu B (platform default "
                   "eager limit: %zu B)\n\n",

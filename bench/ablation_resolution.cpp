@@ -18,6 +18,7 @@
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "dis/pointer.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using bench::fmt;
@@ -34,7 +35,7 @@ struct Outcome {
 
 Outcome run(std::uint32_t nodes, int mode) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::mare_nostrum_gm();
+  cfg.platform = net::make_machine("gm");
   cfg.nodes = nodes;
   cfg.threads_per_node = 4;
   switch (mode) {

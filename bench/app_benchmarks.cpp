@@ -12,6 +12,7 @@
 //               pattern whose cache grows with the machine (like
 //               Pointer/Update).
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "benchsupport/report.h"
@@ -19,6 +20,7 @@
 #include "core/forall.h"
 #include "core/runtime.h"
 #include "core/shared_array.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using bench::fmt;
@@ -27,18 +29,18 @@ using sim::Task;
 
 namespace {
 
-core::RuntimeConfig make_config(net::TransportKind kind, bool cache) {
+core::RuntimeConfig make_config(std::string_view machine, bool cache) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::preset(kind);
+  cfg.platform = net::make_machine(machine);
   cfg.nodes = 4;
   cfg.threads_per_node = 4;
   cfg.cache.enabled = cache;
   return cfg;
 }
 
-double run_stencil(net::TransportKind kind, bool cache,
+double run_stencil(std::string_view machine, bool cache,
                    core::RunReport* report) {
-  core::Runtime rt(make_config(kind, cache));
+  core::Runtime rt(make_config(machine, cache));
   sim::Time t0 = 0, t1 = 0;
   rt.run([&](UpcThread& th) -> Task<void> {
     auto grid =
@@ -68,9 +70,9 @@ double run_stencil(net::TransportKind kind, bool cache,
   return sim::to_us(t1 - t0);
 }
 
-double run_spmv(net::TransportKind kind, bool cache,
+double run_spmv(std::string_view machine, bool cache,
                 core::RunReport* report) {
-  core::Runtime rt(make_config(kind, cache));
+  core::Runtime rt(make_config(machine, cache));
   constexpr std::uint64_t kN = 1024;
   sim::Time t0 = 0, t1 = 0;
   rt.run([&](UpcThread& th) -> Task<void> {
@@ -97,9 +99,9 @@ double run_spmv(net::TransportKind kind, bool cache,
   return sim::to_us(t1 - t0);
 }
 
-double run_gups(net::TransportKind kind, bool cache,
+double run_gups(std::string_view machine, bool cache,
                 core::RunReport* report) {
-  core::Runtime rt(make_config(kind, cache));
+  core::Runtime rt(make_config(machine, cache));
   constexpr std::uint64_t kN = 8192;
   sim::Time t0 = 0, t1 = 0;
   rt.run([&](UpcThread& th) -> Task<void> {
@@ -129,22 +131,20 @@ int main(int argc, char** argv) {
                       "improvement %"});
   struct App {
     const char* name;
-    double (*fn)(net::TransportKind, bool, core::RunReport*);
+    double (*fn)(std::string_view, bool, core::RunReport*);
   };
   const App apps[] = {{"stencil", run_stencil},
                       {"spmv", run_spmv},
                       {"gups", run_gups}};
   core::RunReport representative;
   for (const App& app : apps) {
-    for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
-      const double z = app.fn(kind, false, nullptr);
+    for (std::string_view machine : {"gm", "lapi"}) {
+      const double z = app.fn(machine, false, nullptr);
       // Metrics: the cached GM stencil run (static neighbour pattern).
-      const bool keep =
-          app.fn == run_stencil && kind == net::TransportKind::kGm;
-      const double w = app.fn(kind, true, keep ? &representative : nullptr);
-      table.row({app.name,
-                 kind == net::TransportKind::kGm ? "GM" : "LAPI",
-                 fmt(z, 1), fmt(w, 1), fmt(100.0 * (z - w) / z, 1)});
+      const bool keep = app.fn == run_stencil && machine == "gm";
+      const double w = app.fn(machine, true, keep ? &representative : nullptr);
+      table.row({app.name, machine == "gm" ? "GM" : "LAPI", fmt(z, 1),
+                 fmt(w, 1), fmt(100.0 * (z - w) / z, 1)});
     }
   }
   table.print();
@@ -153,7 +153,7 @@ int main(int argc, char** argv) {
       "microbenchmark gains because their few cache entries never evict;\n"
       "gups sits lower, like Pointer, because every access is a surprise\n"
       "(yet the piggybacked population still covers the node set).\n");
-  rep.config(make_config(net::TransportKind::kGm, true));
+  rep.config(make_config("gm", true));
   rep.config("metrics_run", bench::Json::str("stencil GM, cached"));
   rep.metrics(representative);
   rep.results(table);

@@ -12,8 +12,10 @@
 // shows the effect on the paper's small-strided-access stressmarks
 // (Update/Pointer) at pipeline depths 1/4/8.
 //
-// Usage: coalesce_sweep [--seed N] [--json <file>]
+// Usage: coalesce_sweep [--seed N] [--json <file>] [--machine NAME]
 // Same seed => byte-identical output (deterministic simulation).
+// --machine restricts every sweep to one calibrated model (gm, lapi,
+// ib — docs/MACHINES.md); the default GM+LAPI comparison is unchanged.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -24,6 +26,7 @@
 #include "core/runtime.h"
 #include "dis/pointer.h"
 #include "dis/update.h"
+#include "net/machine_registry.h"
 #include "net/params.h"
 
 using namespace xlupc;
@@ -98,9 +101,10 @@ core::CoalesceConfig batch_cc(std::uint32_t max_ops) {
 
 // --- stressmark comparison -----------------------------------------------
 
-core::RuntimeConfig stress_cfg(std::uint64_t seed) {
+core::RuntimeConfig stress_cfg(const net::PlatformParams& platform,
+                               std::uint64_t seed) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::mare_nostrum_gm();
+  cfg.platform = platform;
   cfg.nodes = 2;
   cfg.threads_per_node = 1;
   cfg.seed = seed;
@@ -108,7 +112,8 @@ core::RuntimeConfig stress_cfg(std::uint64_t seed) {
   return cfg;
 }
 
-double update_us(std::uint32_t depth, bool coalesce, std::uint64_t seed) {
+double update_us(const net::PlatformParams& platform, std::uint32_t depth,
+                 bool coalesce, std::uint64_t seed) {
   dis::UpdateParams p;
   p.hops = 32;
   p.reads_per_hop = 8;
@@ -116,17 +121,18 @@ double update_us(std::uint32_t depth, bool coalesce, std::uint64_t seed) {
   p.warm_cache = false;
   p.pipeline_depth = depth;
   if (coalesce) p.coalesce = batch_cc(8);
-  return dis::run_update(stress_cfg(seed), p).time_us;
+  return dis::run_update(stress_cfg(platform, seed), p).time_us;
 }
 
-double pointer_us(std::uint32_t depth, bool coalesce, std::uint64_t seed) {
+double pointer_us(const net::PlatformParams& platform, std::uint32_t depth,
+                  bool coalesce, std::uint64_t seed) {
   dis::PointerParams p;
   p.hops = 64;
   p.work_per_hop = sim::us(0.1);
   p.warm_cache = false;
   p.pipeline_depth = depth;
   if (coalesce) p.coalesce = batch_cc(8);
-  return dis::run_pointer(stress_cfg(seed), p).time_us;
+  return dis::run_pointer(stress_cfg(platform, seed), p).time_us;
 }
 
 }  // namespace
@@ -134,41 +140,64 @@ double pointer_us(std::uint32_t depth, bool coalesce, std::uint64_t seed) {
 int main(int argc, char** argv) {
   bench::Reporter rep("coalesce_sweep", argc, argv);
   std::uint64_t seed = 1;
+  std::string machine;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      machine = argv[++i];
     }
   }
-  const auto gm = net::mare_nostrum_gm();
-  const auto lapi = net::power5_lapi();
+  const bool single = !machine.empty();
+  // With --machine, every sweep (including the GM-default threshold and
+  // stressmark tables) runs on the named model instead.
+  const auto gm = single ? net::make_machine(machine) : net::make_machine("gm");
+  const auto lapi = net::make_machine("lapi");
+  const std::string label = single ? machine : "GM";
 
-  std::printf(
-      "Small-message coalescing sweep (%u 8B nonblocking GETs, 2 nodes,\n"
-      "address cache off, seed %llu)\n\n",
-      kOps, static_cast<unsigned long long>(seed));
+  if (single) {
+    std::printf(
+        "Small-message coalescing sweep (%u 8B nonblocking GETs, 2 nodes,\n"
+        "address cache off, machine %s, seed %llu)\n\n",
+        kOps, machine.c_str(), static_cast<unsigned long long>(seed));
+  } else {
+    std::printf(
+        "Small-message coalescing sweep (%u 8B nonblocking GETs, 2 nodes,\n"
+        "address cache off, seed %llu)\n\n",
+        kOps, static_cast<unsigned long long>(seed));
+  }
 
   // --- batch-size sweep: per-op cost vs. the max_ops watermark ---
   std::printf("Batch size (coalesce_max_ops, threshold 64B):\n");
-  bench::Table batch_table({"batch", "GM us/op", "GM ops/ms", "GM batches",
-                            "LAPI us/op", "LAPI ops/ms", "LAPI batches"});
+  bench::Table batch_table(
+      single ? std::vector<std::string>{"batch", "us/op", "ops/ms", "batches"}
+             : std::vector<std::string>{"batch", "GM us/op", "GM ops/ms",
+                                        "GM batches", "LAPI us/op",
+                                        "LAPI ops/ms", "LAPI batches"});
   core::RunReport representative;
   for (std::uint32_t max_ops : {0u, 2u, 4u, 8u, 16u}) {
     // batch 0 = coalescing off: the pipeline-only baseline.
     const core::CoalesceConfig cc =
         max_ops == 0 ? core::CoalesceConfig{} : batch_cc(max_ops);
     const SweepResult g = run_burst(gm, cc, seed);
-    const SweepResult l = run_burst(lapi, cc, seed);
     if (max_ops == 8) representative = g.report;
-    batch_table.row({max_ops == 0 ? "off" : std::to_string(max_ops),
-                     fmt(g.per_op_us, 3), fmt(g.ops_per_ms, 1),
-                     std::to_string(g.batches), fmt(l.per_op_us, 3),
-                     fmt(l.ops_per_ms, 1), std::to_string(l.batches)});
+    if (single) {
+      batch_table.row({max_ops == 0 ? "off" : std::to_string(max_ops),
+                       fmt(g.per_op_us, 3), fmt(g.ops_per_ms, 1),
+                       std::to_string(g.batches)});
+    } else {
+      const SweepResult l = run_burst(lapi, cc, seed);
+      batch_table.row({max_ops == 0 ? "off" : std::to_string(max_ops),
+                       fmt(g.per_op_us, 3), fmt(g.ops_per_ms, 1),
+                       std::to_string(g.batches), fmt(l.per_op_us, 3),
+                       fmt(l.ops_per_ms, 1), std::to_string(l.batches)});
+    }
   }
   batch_table.print();
 
   // --- threshold sweep: eligibility gating at fixed batch size ---
-  std::printf(
-      "\nEligibility threshold (8B payloads, coalesce_max_ops 8, GM):\n");
+  std::printf("\nEligibility threshold (8B payloads, coalesce_max_ops 8, %s):\n",
+              label.c_str());
   bench::Table thresh_table(
       {"threshold", "us/op", "ops/ms", "batches", "staged"});
   for (std::uint32_t threshold : {0u, 4u, 8u, 64u}) {
@@ -190,15 +219,16 @@ int main(int argc, char** argv) {
   // --- stressmarks: the paper's small-strided-access workloads ---
   std::printf(
       "\nDIS stressmarks, coalescing off vs. on (threshold 64B, batch 8,\n"
-      "GM, cache off; depth 1 = original blocking loops):\n");
+      "%s, cache off; depth 1 = original blocking loops):\n",
+      label.c_str());
   bench::Table stress_table({"depth", "Update off us", "Update on us",
                              "Update gain%", "Pointer off us",
                              "Pointer on us", "Pointer gain%"});
   for (std::uint32_t depth : {1u, 4u, 8u}) {
-    const double uo = update_us(depth, false, seed);
-    const double uc = update_us(depth, true, seed);
-    const double po = pointer_us(depth, false, seed);
-    const double pc = pointer_us(depth, true, seed);
+    const double uo = update_us(gm, depth, false, seed);
+    const double uc = update_us(gm, depth, true, seed);
+    const double po = pointer_us(gm, depth, false, seed);
+    const double pc = pointer_us(gm, depth, true, seed);
     stress_table.row({std::to_string(depth), fmt(uo, 1), fmt(uc, 1),
                       fmt(sim::improvement_percent(uo, uc), 1), fmt(po, 1),
                       fmt(pc, 1), fmt(sim::improvement_percent(po, pc), 1)});
@@ -215,11 +245,12 @@ int main(int argc, char** argv) {
   rep_cfg.cache.enabled = false;
   rep_cfg.coalesce = batch_cc(8);
   rep.config(rep_cfg);
+  if (single) rep.config("machine", bench::Json::str(machine));
   rep.config("ops_per_burst",
              bench::Json::number(static_cast<double>(kOps)));
   rep.config("batch_sizes", bench::Json::str("off,2,4,8,16"));
   rep.config("thresholds", bench::Json::str("off,4,8,64"));
-  rep.config("metrics_run", bench::Json::str("GM batch 8"));
+  rep.config("metrics_run", bench::Json::str(label + " batch 8"));
   rep.metrics(representative);
   rep.results(batch_table, "batch_size");
   rep.results(thresh_table, "threshold");

@@ -2,6 +2,9 @@
 // (docs/FAULTS.md): GET latency and recovery work as a function of the
 // per-link drop probability, plus a forced RDMA-NAK/AM-fallback episode
 // per row. The whole sweep is replayable byte-for-byte from one seed.
+// --machine NAME selects the calibrated model (default gm); on ib, pin
+// losses additionally exercise the verbs RNR-NAK retry path
+// (docs/MACHINES.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +14,7 @@
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
+#include "net/machine_registry.h"
 #include "net/params.h"
 
 using namespace xlupc;
@@ -28,9 +32,10 @@ struct RowResult {
   core::RunReport report;
 };
 
-RowResult run_row(double drop_prob, std::uint64_t seed) {
+RowResult run_row(const net::PlatformParams& platform, double drop_prob,
+                  std::uint64_t seed) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::mare_nostrum_gm();
+  cfg.platform = platform;
   cfg.nodes = 2;
   cfg.threads_per_node = 1;
   cfg.faults.seed = seed;
@@ -81,23 +86,35 @@ RowResult run_row(double drop_prob, std::uint64_t seed) {
 int main(int argc, char** argv) {
   bench::Reporter rep("fault_sweep", argc, argv);
   std::uint64_t seed = 42;
+  std::string machine;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      machine = argv[++i];
     }
   }
+  const auto platform =
+      machine.empty() ? net::make_machine("gm") : net::make_machine(machine);
 
-  std::printf(
-      "Fault sweep: GET latency and recovery work vs per-link drop\n"
-      "probability (GM, 2 nodes, seed %llu)\n\n",
-      static_cast<unsigned long long>(seed));
+  if (machine.empty()) {
+    std::printf(
+        "Fault sweep: GET latency and recovery work vs per-link drop\n"
+        "probability (GM, 2 nodes, seed %llu)\n\n",
+        static_cast<unsigned long long>(seed));
+  } else {
+    std::printf(
+        "Fault sweep: GET latency and recovery work vs per-link drop\n"
+        "probability (machine %s, 2 nodes, seed %llu)\n\n",
+        machine.c_str(), static_cast<unsigned long long>(seed));
+  }
   bench::Table table({"drop prob", "mean GET (us)", "retransmits",
                       "backoff (us)", "nak fallbacks", "timeouts"});
 
   const double drops[] = {0.0, 0.001, 0.01, 0.05, 0.1};
   core::RunReport representative;
   for (double drop : drops) {
-    const RowResult r = run_row(drop, seed);
+    const RowResult r = run_row(platform, drop, seed);
     if (drop == 0.05) representative = r.report;
     table.row({fmt(drop, 3), fmt(r.mean_get_us, 2),
                std::to_string(r.report.counter("reliability.retransmits")),
@@ -113,10 +130,11 @@ int main(int argc, char** argv) {
       "fallback. Same seed => byte-identical output.\n");
 
   core::RuntimeConfig rep_cfg;
-  rep_cfg.platform = net::mare_nostrum_gm();
+  rep_cfg.platform = platform;
   rep_cfg.faults.seed = seed;
   rep_cfg.faults.drop_prob = 0.05;
   rep.config(rep_cfg);
+  if (!machine.empty()) rep.config("machine", bench::Json::str(machine));
   rep.config("drop_probs", bench::Json::str("0, 0.001, 0.01, 0.05, 0.1"));
   rep.config("metrics_run", bench::Json::str("drop_prob 0.05"));
   rep.metrics(representative);

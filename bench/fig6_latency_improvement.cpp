@@ -17,6 +17,7 @@
 #include "benchsupport/microbench.h"
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
+#include "net/machine_registry.h"
 #include "net/params.h"
 
 using namespace xlupc;
@@ -33,8 +34,8 @@ int main(int argc, char** argv) {
 
   bench::Table table({"size (B)", "GET GM %", "GET LAPI %", "PUT GM %",
                       "PUT LAPI %"});
-  const auto gm = net::mare_nostrum_gm();
-  const auto lapi = net::power5_lapi();
+  const auto gm = net::make_machine("gm");
+  const auto lapi = net::make_machine("lapi");
   const bench::MicroParams mp{0, 4, 12};
 
   for (std::size_t size : sizes) {

@@ -11,6 +11,7 @@
 #include "benchsupport/microbench.h"
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
+#include "net/machine_registry.h"
 #include "net/params.h"
 
 using namespace xlupc;
@@ -43,8 +44,8 @@ int main(int argc, char** argv) {
       "short message sizes\n\n");
   bench::Table table({"size (B)", "GM no-cache", "GM cached", "LAPI no-cache",
                       "LAPI cached"});
-  const auto gm = net::mare_nostrum_gm();
-  const auto lapi = net::power5_lapi();
+  const auto gm = net::make_machine("gm");
+  const auto lapi = net::make_machine("lapi");
   // The metrics section of the JSON report describes one representative
   // run: the cached 8 B GET on GM (the paper's headline data point).
   core::RunReport representative;

@@ -15,6 +15,7 @@
 #include "benchsupport/table.h"
 #include "dis/neighborhood.h"
 #include "dis/pointer.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using bench::fmt;
@@ -28,7 +29,7 @@ struct Scale {
 
 core::RuntimeConfig config(const Scale& s, std::size_t cache_entries) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::mare_nostrum_gm();
+  cfg.platform = net::make_machine("gm");
   cfg.nodes = s.nodes;
   cfg.threads_per_node = s.threads / s.nodes;
   cfg.cache.max_entries = cache_entries;

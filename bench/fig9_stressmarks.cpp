@@ -8,11 +8,13 @@
 //  (b) LAPI hybrid: Pointer/Update/Neighborhood comparable to GM; Field
 //      ~0% because LAPI overlaps communication and computation.
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "dis/field.h"
+#include "net/machine_registry.h"
 #include "dis/neighborhood.h"
 #include "dis/pointer.h"
 #include "dis/update.h"
@@ -27,16 +29,16 @@ struct Scale {
   std::uint32_t nodes;
 };
 
-core::RuntimeConfig config(net::TransportKind kind, const Scale& s) {
+core::RuntimeConfig config(std::string_view machine, const Scale& s) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::preset(kind);
+  cfg.platform = net::make_machine(machine);
   cfg.nodes = s.nodes;
   cfg.threads_per_node = s.threads / s.nodes;
   return cfg;
 }
 
 void panel(bench::Reporter& rep, const char* series, const char* title,
-           net::TransportKind kind, const std::vector<Scale>& scales) {
+           std::string_view machine, const std::vector<Scale>& scales) {
   std::printf("%s\n\n", title);
   bench::Table table({"threads-nodes", "Pointer %", "Update %",
                       "Neighborhood %", "Field %"});
@@ -49,10 +51,10 @@ void panel(bench::Reporter& rep, const char* series, const char* title,
     np.samples_per_thread = 32;
     dis::FieldParams fp;
     fp.tokens = 3;
-    const auto p = dis::pointer_improvement(config(kind, s), pp);
-    const auto u = dis::update_improvement(config(kind, s), up);
-    const auto n = dis::neighborhood_improvement(config(kind, s), np);
-    const auto f = dis::field_improvement(config(kind, s), fp);
+    const auto p = dis::pointer_improvement(config(machine, s), pp);
+    const auto u = dis::update_improvement(config(machine, s), up);
+    const auto n = dis::neighborhood_improvement(config(machine, s), np);
+    const auto f = dis::field_improvement(config(machine, s), fp);
     table.row({std::to_string(s.threads) + "-" + std::to_string(s.nodes),
                fmt(p.improvement_pct, 1), fmt(u.improvement_pct, 1),
                fmt(n.improvement_pct, 1), fmt(f.improvement_pct, 1)});
@@ -68,7 +70,7 @@ int main(int argc, char** argv) {
   bench::Reporter rep("fig9_stressmarks", argc, argv);
   // (a) MareNostrum hybrid GM: 4 UPC threads per blade (Sec. 4.6).
   panel(rep, "fig9a_gm", "Figure 9a: DIS improvement, hybrid GM (MareNostrum)",
-        net::TransportKind::kGm,
+        "gm",
         {{8, 2},
          {16, 4},
          {32, 8},
@@ -82,7 +84,7 @@ int main(int argc, char** argv) {
   // (b) Power5 cluster, LAPI: the paper's thread-node pairs (Sec. 4.7).
   panel(rep, "fig9b_lapi",
         "Figure 9b: DIS improvement, hybrid LAPI (Power5 cluster)",
-        net::TransportKind::kLapi,
+        "lapi",
         {{4, 2},
          {8, 2},
          {16, 2},
@@ -99,7 +101,7 @@ int main(int argc, char** argv) {
 
   if (rep.json_enabled()) {
     // Metrics from one representative cached run: Pointer at GM 8-2.
-    core::RuntimeConfig cfg = config(net::TransportKind::kGm, {8, 2});
+    core::RuntimeConfig cfg = config("gm", {8, 2});
     dis::PointerParams pp;
     pp.hops = 48;
     const auto r = dis::run_pointer(cfg, pp);

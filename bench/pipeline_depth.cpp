@@ -9,8 +9,10 @@
 // target DMA engine) saturates — the one-sided pipelining the paper's
 // scalability argument rests on.
 //
-// Usage: pipeline_depth [--seed N] [--json <file>]
+// Usage: pipeline_depth [--seed N] [--json <file>] [--machine NAME]
 // Same seed => byte-identical output (deterministic simulation).
+// --machine restricts the sweep to one calibrated model (gm, lapi, ib —
+// docs/MACHINES.md); the default GM+LAPI comparison is unchanged.
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -19,6 +21,7 @@
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
+#include "net/machine_registry.h"
 #include "net/params.h"
 
 using namespace xlupc;
@@ -99,10 +102,44 @@ DepthResult run_depth(const net::PlatformParams& platform,
 int main(int argc, char** argv) {
   bench::Reporter rep("pipeline_depth", argc, argv);
   std::uint64_t seed = 1;
+  std::string machine;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      machine = argv[++i];
     }
+  }
+
+  if (!machine.empty()) {
+    // Single-machine sweep over the named calibrated model.
+    const auto platform = net::make_machine(machine);
+    std::printf(
+        "Pipelined 8B GET latency/throughput vs. outstanding-op window\n"
+        "(%u warm-cache RDMA GETs, 2 nodes, machine %s, seed %llu)\n\n",
+        kOps, machine.c_str(), static_cast<unsigned long long>(seed));
+    bench::Table table({"depth", "us/op", "ops/ms", "hwm"});
+    core::RunReport representative;
+    for (std::uint32_t depth : {1u, 2u, 4u, 8u, 16u}) {
+      const DepthResult r = run_depth(platform, depth, seed);
+      if (depth == 8) representative = r.report;
+      table.row({std::to_string(depth), fmt(r.per_op_us, 3),
+                 fmt(r.ops_per_ms, 1), std::to_string(r.hwm)});
+    }
+    table.print();
+
+    core::RuntimeConfig rep_cfg;
+    rep_cfg.platform = platform;
+    rep_cfg.seed = seed;
+    rep.config(rep_cfg);
+    rep.config("machine", bench::Json::str(machine));
+    rep.config("ops_per_batch",
+               bench::Json::number(static_cast<double>(kOps)));
+    rep.config("depths", bench::Json::str("1,2,4,8,16"));
+    rep.config("metrics_run", bench::Json::str(machine + " depth 8"));
+    rep.metrics(representative);
+    rep.results(table);
+    return rep.finish();
   }
 
   std::printf(
@@ -111,8 +148,8 @@ int main(int argc, char** argv) {
       kOps, static_cast<unsigned long long>(seed));
   bench::Table table({"depth", "GM us/op", "GM ops/ms", "GM hwm",
                       "LAPI us/op", "LAPI ops/ms", "LAPI hwm"});
-  const auto gm = net::mare_nostrum_gm();
-  const auto lapi = net::power5_lapi();
+  const auto gm = net::make_machine("gm");
+  const auto lapi = net::make_machine("lapi");
   core::RunReport representative;
   for (std::uint32_t depth : {1u, 2u, 4u, 8u, 16u}) {
     const DepthResult g = run_depth(gm, depth, seed);

@@ -14,6 +14,7 @@
 #include "dis/field.h"
 #include "dis/neighborhood.h"
 #include "dis/pointer.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using bench::fmt;
@@ -22,7 +23,7 @@ namespace {
 
 core::RuntimeConfig config(std::uint32_t nodes) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::mare_nostrum_gm();
+  cfg.platform = net::make_machine("gm");
   cfg.nodes = nodes;
   cfg.threads_per_node = 4;
   return cfg;

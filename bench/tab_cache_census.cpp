@@ -12,6 +12,7 @@
 #include "dis/neighborhood.h"
 #include "dis/pointer.h"
 #include "dis/update.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using bench::fmt;
@@ -20,7 +21,7 @@ namespace {
 
 core::RuntimeConfig config(std::uint32_t nodes, std::uint32_t tpn) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::mare_nostrum_gm();
+  cfg.platform = net::make_machine("gm");
   cfg.nodes = nodes;
   cfg.threads_per_node = tpn;
   return cfg;

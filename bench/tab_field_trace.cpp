@@ -10,12 +10,14 @@
 // progress independent of the application CPUs.
 #include <cstdio>
 #include <iostream>
+#include <string_view>
 
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
 #include "core/trace.h"
 #include "dis/field.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using bench::fmt;
@@ -29,10 +31,10 @@ struct PathStats {
 };
 
 // Run Field with tracing and aggregate the remote-GET access times.
-PathStats traced_field(net::TransportKind kind, bool cache,
+PathStats traced_field(std::string_view machine, bool cache,
                        core::RunReport* report = nullptr) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::preset(kind);
+  cfg.platform = net::make_machine(machine);
   cfg.nodes = 8;
   cfg.threads_per_node = 4;
   cfg.cache.enabled = cache;
@@ -116,18 +118,15 @@ int main(int argc, char** argv) {
   bench::Table table({"platform", "cache", "path", "count", "mean us",
                       "max us"});
   core::RunReport representative;
-  for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
-    const char* name =
-        kind == net::TransportKind::kGm ? "GM" : "LAPI";
+  for (std::string_view machine : {"gm", "lapi"}) {
+    const char* name = machine == "gm" ? "GM" : "LAPI";
     // Metrics: the GM cache-off run — the one the paper's Paraver trace
     // diagnosed (its JSON report carries the per-path trace lines).
-    const auto off =
-        traced_field(kind, false,
-                     kind == net::TransportKind::kGm ? &representative
-                                                     : nullptr);
+    const auto off = traced_field(machine, false,
+                                  machine == "gm" ? &representative : nullptr);
     table.row({name, "off", "am", std::to_string(off.am_count),
                fmt(off.am_mean, 2), fmt(off.am_max, 2)});
-    const auto on = traced_field(kind, true);
+    const auto on = traced_field(machine, true);
     table.row({name, "on", "rdma", std::to_string(on.rdma_count),
                fmt(on.rdma_mean, 2), fmt(on.rdma_max, 2)});
   }

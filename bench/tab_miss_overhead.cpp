@@ -6,10 +6,12 @@
 // piggyback request, insert) but never pays off. The overhead is measured
 // against the identical run with the cache code disabled.
 #include <cstdio>
+#include <string_view>
 
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using bench::fmt;
@@ -23,10 +25,10 @@ struct Measurement {
   double hit_rate = 0.0;
 };
 
-Measurement run(net::TransportKind kind, bool cache_enabled, int accesses,
-                core::RunReport* report = nullptr) {
+Measurement run(std::string_view machine, bool cache_enabled,
+                int accesses, core::RunReport* report = nullptr) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::preset(kind);
+  cfg.platform = net::make_machine(machine);
   cfg.nodes = 3;
   cfg.threads_per_node = 1;
   cfg.cache.enabled = cache_enabled;
@@ -64,14 +66,14 @@ int main(int argc, char** argv) {
   bench::Table table({"platform", "accesses", "no-cache (us)",
                       "thrashing (us)", "hit rate", "overhead %"});
   core::RunReport representative;
-  for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
+  for (std::string_view machine : {"gm", "lapi"}) {
     for (int accesses : {500, 2000, 8000}) {
-      const auto z = run(kind, false, accesses);
+      const auto z = run(machine, false, accesses);
       // Metrics: the thrashing GM 2000-access run (all misses, evictions).
-      const bool keep = kind == net::TransportKind::kGm && accesses == 2000;
-      const auto w = run(kind, true, accesses,
+      const bool keep = machine == "gm" && accesses == 2000;
+      const auto w = run(machine, true, accesses,
                          keep ? &representative : nullptr);
-      table.row({net::preset(kind).name.substr(0, 12),
+      table.row({net::make_machine(machine).name.substr(0, 12),
                  std::to_string(accesses), fmt(z.time_us, 1),
                  fmt(w.time_us, 1), fmt(w.hit_rate, 2),
                  fmt(100.0 * (w.time_us - z.time_us) / z.time_us, 2)});

@@ -10,6 +10,7 @@
 
 #include "core/runtime.h"
 #include "core/shared_array.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using core::SharedArray;
@@ -26,7 +27,7 @@ struct Result {
 
 Result run(bool cache_enabled, std::uint32_t nodes) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::power5_lapi();
+  cfg.platform = net::make_machine("lapi");
   cfg.nodes = nodes;
   cfg.threads_per_node = 4;
   cfg.cache.enabled = cache_enabled;

@@ -11,6 +11,7 @@
 #include "core/forall.h"
 #include "core/runtime.h"
 #include "core/shared_array.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using core::UpcThread;
@@ -18,7 +19,7 @@ using sim::Task;
 
 int main() {
   core::RuntimeConfig cfg;
-  cfg.platform = net::power5_lapi();
+  cfg.platform = net::make_machine("lapi");
   cfg.nodes = 4;
   cfg.threads_per_node = 2;
   core::Runtime rt(cfg);

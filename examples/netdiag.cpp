@@ -1,11 +1,12 @@
-// Network diagnostic tool: latency and effective-bandwidth curves of the
-// two simulated platforms, with and without the remote address cache —
-// the osu-microbenchmarks-style utility a downstream user would run first
-// to understand the machine model.
+// Network diagnostic tool: latency and effective-bandwidth curves of
+// every calibrated machine model, with and without the remote address
+// cache — the osu-microbenchmarks-style utility a downstream user would
+// run first to understand the machine models (docs/MACHINES.md).
 #include <cstdio>
 #include <vector>
 
 #include "core/runtime.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using core::UpcThread;
@@ -58,8 +59,8 @@ Point measure(const net::PlatformParams& platform, bool cache,
 }  // namespace
 
 int main() {
-  for (auto kind : {net::TransportKind::kGm, net::TransportKind::kLapi}) {
-    const auto platform = net::preset(kind);
+  for (const net::MachineModel& model : net::machine_models()) {
+    const auto platform = model.make();
     std::printf("%s\n", platform.name.c_str());
     std::printf("%10s %14s %14s %16s %16s\n", "size (B)", "lat no$ (us)",
                 "lat $ (us)", "bw no$ (MB/s)", "bw $ (MB/s)");

@@ -9,6 +9,7 @@
 
 #include "core/runtime.h"
 #include "core/shared_array.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using core::SharedArray;
@@ -17,7 +18,7 @@ using sim::Task;
 
 int main() {
   core::RuntimeConfig cfg;
-  cfg.platform = net::mare_nostrum_gm();
+  cfg.platform = net::make_machine("gm");
   cfg.nodes = 2;
   cfg.threads_per_node = 4;
   core::Runtime rt(cfg);

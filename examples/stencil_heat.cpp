@@ -13,6 +13,7 @@
 
 #include "core/runtime.h"
 #include "core/shared_array.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using core::SharedArray2D;
@@ -28,7 +29,7 @@ struct Result {
 
 Result run(bool cache_enabled) {
   core::RuntimeConfig cfg;
-  cfg.platform = net::mare_nostrum_gm();
+  cfg.platform = net::make_machine("gm");
   cfg.nodes = 4;
   cfg.threads_per_node = 4;
   cfg.cache.enabled = cache_enabled;

@@ -13,6 +13,7 @@
 
 #include "core/runtime.h"
 #include "core/shared_array.h"
+#include "net/machine_registry.h"
 
 using namespace xlupc;
 using core::UpcThread;
@@ -20,7 +21,7 @@ using sim::Task;
 
 int main() {
   core::RuntimeConfig cfg;
-  cfg.platform = net::mare_nostrum_gm();
+  cfg.platform = net::make_machine("gm");
   cfg.nodes = 4;
   cfg.threads_per_node = 2;
   core::Runtime rt(cfg);

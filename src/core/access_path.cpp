@@ -71,7 +71,9 @@ Task<void> AccessPath::get_span(UpcThread& th, const ArrayDesc& a,
         }
         std::memcpy(dst.data(), res.data.data(), len);
         ++rt_.counters_.rdma_gets;
-        trace(TracePath::kRdma);
+        // Offload backends (IB) complete one-sided reads entirely on the
+        // NIC DMA engine; mark them apart from handler-CPU completions.
+        trace(p.rdma_offload ? TracePath::kRdmaOffload : TracePath::kRdma);
         co_return;
       }
       // NAK: the target no longer pins that window. Invalidate and fall
@@ -158,7 +160,7 @@ Task<void> AccessPath::put_span(UpcThread& th, const ArrayDesc& a,
           [rt, tid] { rt->note_put_completed(tid); });
       if (res.ok()) {
         ++rt_.counters_.rdma_puts;
-        trace(TracePath::kRdma);
+        trace(p.rdma_offload ? TracePath::kRdmaOffload : TracePath::kRdma);
         co_return;
       }
       rt_.note_put_completed(th.id());  // nothing was issued

@@ -138,7 +138,8 @@ RunReport Runtime::metrics() {
   // fault.*/reliability.* names the protocol engine feeds); the struct
   // and the registry cannot drift (metrics_test asserts equality).
   const net::TransportStats& ts = transport_->stats();
-  ts.fold_into(reg, machine_.faults().enabled(), cfg_.coalesce.enabled());
+  ts.fold_into(reg, machine_.faults().enabled(), cfg_.coalesce.enabled(),
+               cfg_.platform.kind == net::TransportKind::kIb);
   std::uint64_t rc_hits = 0, rc_misses = 0, rc_evictions = 0;
   std::uint64_t rc_resident = 0;
   for (NodeId n = 0; n < cfg_.nodes; ++n) {

@@ -30,6 +30,8 @@ const char* to_string(TracePath path) {
       return "am";
     case TracePath::kRdma:
       return "rdma";
+    case TracePath::kRdmaOffload:
+      return "nic_dma";
     case TracePath::kBatch:
       return "batch";
     case TracePath::kNone:

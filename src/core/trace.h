@@ -29,6 +29,10 @@ enum class TracePath : std::uint8_t {
   kShm,    ///< same-node, cross-thread
   kAm,     ///< remote, default SVD (Active Message) path
   kRdma,   ///< remote, address-cache hit -> one-sided RDMA
+  /// Remote one-sided RDMA completed by the NIC DMA engine alone
+  /// (PlatformParams::rdma_offload backends, i.e. IB) — distinguishes
+  /// NIC-DMA completions from handler-CPU completions in TraceSummary.
+  kRdmaOffload,
   kBatch,  ///< remote, staged and shipped in an aggregated batch
   kNone,   ///< not a data access (barrier/lock)
 };

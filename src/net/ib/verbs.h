@@ -1,0 +1,87 @@
+// Verbs-style queue pairs and completion queues on top of the DES.
+//
+// The IB transport (ib_transport.h) models the host-visible half of the
+// verbs interface that Liu et al. build MPICH2's RDMA channel on: work
+// requests are posted to a reliable-connection QueuePair's send queue and
+// retire through a per-node CompletionQueue. The wire and the hardware
+// engines stay where they are for every backend — `net::Machine`'s
+// nic_tx/nic_dma resources and the shared ProtocolEngine — so these
+// classes own only the queue discipline: a send queue has `sq_depth`
+// WQE slots, and posting to a full queue stalls the caller until a
+// completion frees one (the backpressure a real sender spins on).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace xlupc::net::ib {
+
+/// Per-node completion queue: every work completion on every QP whose
+/// initiator lives on the node lands here (one CQ polled by the progress
+/// engine, the common verbs deployment).
+class CompletionQueue {
+ public:
+  void completed() noexcept { ++cqes_; }
+  std::uint64_t cqes() const noexcept { return cqes_; }
+
+ private:
+  std::uint64_t cqes_ = 0;
+};
+
+/// One reliable-connection queue pair (one per ordered initiator->target
+/// node pair). Only the send side is modelled: receives are preposted in
+/// bulk by the runtime and never run dry in this simulator.
+class QueuePair {
+ public:
+  /// `sq_depth` = send-queue WQE slots; 0 = unbounded.
+  QueuePair(sim::Simulator& sim, std::uint32_t sq_depth)
+      : sim_(&sim), depth_(sq_depth) {}
+  QueuePair(QueuePair&&) = default;
+
+  /// True when post_send() would have to wait for a free slot.
+  bool would_stall() const noexcept {
+    return depth_ != 0 && outstanding_ >= depth_;
+  }
+
+  /// Occupy one send-queue slot, waiting (FIFO via the trigger's wake
+  /// order) while the queue is full.
+  sim::Task<void> post_send() {
+    while (would_stall()) {
+      if (!stall_) stall_ = std::make_shared<sim::Trigger>(*sim_);
+      // Hold a local reference: complete() hands the trigger off to its
+      // waiters before firing, and another staller may install a fresh one.
+      const std::shared_ptr<sim::Trigger> t = stall_;
+      co_await t->wait();
+    }
+    ++outstanding_;
+    hwm_ = std::max(hwm_, outstanding_);
+  }
+
+  /// Retire the oldest outstanding WQE (work completion), waking stalled
+  /// posters.
+  void complete() {
+    if (outstanding_ > 0) --outstanding_;
+    if (stall_) {
+      const std::shared_ptr<sim::Trigger> t = std::move(stall_);
+      stall_.reset();
+      t->fire();
+    }
+  }
+
+  std::uint32_t outstanding() const noexcept { return outstanding_; }
+  std::uint32_t hwm() const noexcept { return hwm_; }
+
+ private:
+  sim::Simulator* sim_;
+  std::uint32_t depth_;
+  std::uint32_t outstanding_ = 0;
+  std::uint32_t hwm_ = 0;
+  std::shared_ptr<sim::Trigger> stall_;
+};
+
+}  // namespace xlupc::net::ib

@@ -1,0 +1,55 @@
+#include "net/machine_registry.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace xlupc::net {
+
+namespace {
+
+constexpr std::array<MachineModel, 3> kModels{{
+    {"gm", "MareNostrum: Myrinet/GM, 3-level crossbar, no comm/comp overlap",
+     &mare_nostrum_gm},
+    {"lapi", "Power5 cluster: LAPI over the IBM HPS, dedicated comm CPU",
+     &power5_lapi},
+    {"ib", "InfiniBand: verbs RC queue pairs, fat tree, NIC-offloaded RDMA",
+     &infiniband_verbs},
+}};
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::span<const MachineModel> machine_models() { return kModels; }
+
+PlatformParams make_machine(std::string_view name) {
+  const std::string key = lower(name);
+  for (const MachineModel& m : kModels) {
+    if (key == m.name) return m.make();
+  }
+  // Aliases: the full fabric/messaging-layer names people actually type.
+  if (key == "myrinet" || key == "marenostrum") return mare_nostrum_gm();
+  if (key == "hps" || key == "power5") return power5_lapi();
+  if (key == "infiniband" || key == "verbs") return infiniband_verbs();
+  throw std::invalid_argument("unknown machine '" + std::string(name) +
+                              "' (known: " + machine_names() + ")");
+}
+
+std::string machine_names() {
+  std::string out;
+  for (const MachineModel& m : kModels) {
+    if (!out.empty()) out += ", ";
+    out += m.name;
+  }
+  return out;
+}
+
+}  // namespace xlupc::net

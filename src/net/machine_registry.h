@@ -1,0 +1,39 @@
+// Machine-model registry: every calibrated backend under one name.
+//
+// Benches, examples and tests used to build their PlatformParams by
+// calling the preset functions directly, hard-coding the GM/LAPI pair at
+// every site. The registry replaces that with a single lookup —
+// `make_machine("gm")` — so adding a backend (like the InfiniBand model)
+// is one table entry, and every `--machine <name>` flag resolves through
+// the same alias set. The calibrated models themselves are documented in
+// docs/MACHINES.md.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "net/params.h"
+
+namespace xlupc::net {
+
+/// One registered machine model.
+struct MachineModel {
+  std::string_view name;         ///< canonical short name ("gm", "lapi", "ib")
+  std::string_view description;  ///< one-line summary for --help output
+  PlatformParams (*make)();      ///< the calibrated preset
+};
+
+/// Every registered model, in stable registration order.
+std::span<const MachineModel> machine_models();
+
+/// Build the calibrated PlatformParams for `name`. Accepts the canonical
+/// short names and a few aliases ("myrinet", "hps", "infiniband", ...),
+/// case-insensitively. Throws std::invalid_argument (listing the known
+/// names) for anything else.
+PlatformParams make_machine(std::string_view name);
+
+/// Comma-separated canonical names ("gm, lapi, ib") for usage messages.
+std::string machine_names();
+
+}  // namespace xlupc::net

@@ -7,6 +7,11 @@
 // Constants are calibrated against the paper's reported numbers: 4-8 us
 // small-message roundtrips, ~65 us uncached 8 KB GM GET (Fig. 7), the
 // 30%/16% small-GET gains (Fig. 6), and the negative LAPI RDMA-PUT region.
+//
+// A third preset models a fabric beyond the paper's evaluation:
+//  * infiniband_verbs() — 4X InfiniBand, fat tree, verbs RC queue pairs,
+//    calibrated against Liu et al. (MPICH2 over InfiniBand with RDMA
+//    support) and Novakovic et al. (Storm). See docs/MACHINES.md.
 #pragma once
 
 #include <cstddef>
@@ -17,11 +22,12 @@
 
 namespace xlupc::net {
 
-enum class TransportKind : std::uint8_t { kGm, kLapi };
+enum class TransportKind : std::uint8_t { kGm, kLapi, kIb };
 
 enum class TopologyKind : std::uint8_t {
   kMyrinetCrossbar,  // 3-level crossbar: 1 / 3 / 5 hops
   kFlatSwitch,       // single-stage switch: 1 hop
+  kFatTree,          // leaf/pod/core fat tree: 1 / 3 / 5 hops
 };
 
 struct PlatformParams {
@@ -71,6 +77,21 @@ struct PlatformParams {
   std::size_t max_bytes_per_handle = 0;      ///< 0 = unlimited
   std::size_t max_dmaable_bytes = 0;         ///< 0 = unlimited
 
+  // --- verbs queue-pair model (IB only; inert on GM/LAPI) ---
+  /// Payloads at or below this ride inside the work request itself
+  /// (IBV_SEND_INLINE): no send-side copy, immediate local completion.
+  std::size_t inline_limit = 0;
+  /// Send-queue depth per reliable-connection queue pair; posting to a
+  /// full queue stalls the caller until a completion retires a WQE.
+  /// 0 = unbounded (non-verbs transports).
+  std::uint32_t sq_depth = 0;
+  /// RNR-NAK retry budget: how many times a rendezvous initiator re-sends
+  /// after the target reports "receiver not ready" (transient registration
+  /// failure) before degrading to bounce-buffer staging.
+  std::uint32_t rnr_retry_limit = 0;
+  /// Receiver-not-ready backoff timer between RNR retries.
+  sim::Duration rnr_backoff = 0;
+
   // --- behaviour flags ---
   /// True when the transport makes progress independently of the target
   /// CPU's application work (LAPI: dedicated communication processor).
@@ -80,6 +101,11 @@ struct PlatformParams {
   /// Default for "use the address cache for PUT" — the paper disables it
   /// on LAPI after the Fig. 6 analysis (Sec. 4.3).
   bool put_cache_default = true;
+  /// True when one-sided transfers complete entirely on the NIC's DMA
+  /// engine (verbs READ/WRITE). Gates the trace layer's distinct
+  /// offloaded-RDMA marker; false keeps GM/LAPI traces byte-identical
+  /// to pre-IB builds.
+  bool rdma_offload = false;
 
   // --- intra-node (shared-memory) transfers ---
   double shm_copy_bw = 2.5e9;
@@ -107,6 +133,10 @@ PlatformParams mare_nostrum_gm();
 
 /// Power5/AIX cluster: LAPI over the IBM High-Performance Switch.
 PlatformParams power5_lapi();
+
+/// 4X InfiniBand cluster: verbs RC queue pairs over a fat tree, with true
+/// NIC-offloaded one-sided READ/WRITE (docs/MACHINES.md).
+PlatformParams infiniband_verbs();
 
 /// Look up a preset by transport kind (convenience for sweeps).
 PlatformParams preset(TransportKind kind);

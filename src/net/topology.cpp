@@ -12,6 +12,11 @@ std::uint32_t hops_between(TopologyKind topology, NodeId a, NodeId b) {
       if (a / kMyrinetGroup == b / kMyrinetGroup) return 3;
       return 5;
     }
+    case TopologyKind::kFatTree: {
+      if (a / kFatTreeLeaf == b / kFatTreeLeaf) return 1;
+      if (a / kFatTreePod == b / kFatTreePod) return 3;
+      return 5;
+    }
   }
   return 1;
 }

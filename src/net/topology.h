@@ -3,7 +3,9 @@
 // MareNostrum's Myrinet has a 3-level crossbar giving three route lengths:
 // 1 hop when both nodes hang off the same linecard, 3 or 5 hops otherwise
 // depending on intervening linecards (Sec. 4.1). The HPS switch of the
-// Power5 cluster is modelled as a single-stage (1-hop) switch.
+// Power5 cluster is modelled as a single-stage (1-hop) switch. The IB
+// machine uses a three-tier fat tree (leaf / pod spine / core): 1 hop
+// under one leaf switch, 3 within a pod, 5 through the core layer.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +18,11 @@ namespace xlupc::net {
 /// Nodes per Myrinet linecard and per mid-level switch group.
 inline constexpr std::uint32_t kMyrinetLinecard = 16;
 inline constexpr std::uint32_t kMyrinetGroup = 128;
+
+/// Nodes per fat-tree leaf switch and per pod (radix-36 switches: 18
+/// down-links at the leaf, 18 leaves per pod).
+inline constexpr std::uint32_t kFatTreeLeaf = 18;
+inline constexpr std::uint32_t kFatTreePod = 18 * 18;
 
 /// Number of switch hops between two distinct nodes (0 when a == b).
 std::uint32_t hops_between(TopologyKind topology, NodeId a, NodeId b);

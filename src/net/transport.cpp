@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "net/ib/ib_transport.h"
+
 namespace xlupc::net {
 
 using sim::Duration;
@@ -70,7 +72,8 @@ AmTarget::BatchServe AmTarget::serve_batch(NodeId target, RdmaBatch&& batch) {
 }
 
 void TransportStats::fold_into(sim::MetricsRegistry& reg, bool faults_enabled,
-                               bool coalescing_enabled) const {
+                               bool coalescing_enabled,
+                               bool ib_enabled) const {
   reg.set("transport.gets.eager", am_gets);
   reg.set("transport.gets.rendezvous", rendezvous_gets);
   reg.set("transport.puts.eager", am_puts);
@@ -86,6 +89,15 @@ void TransportStats::fold_into(sim::MetricsRegistry& reg, bool faults_enabled,
     reg.set("transport.batch_msgs", batch_msgs);
     reg.set("transport.batched_gets", batched_gets);
     reg.set("transport.batched_puts", batched_puts);
+  }
+  // Folded only for the IB transport, so GM/LAPI reports stay
+  // byte-identical to builds that predate the verbs backend.
+  if (ib_enabled) {
+    reg.set("transport.ib.qp_posts", qp_posts);
+    reg.set("transport.ib.sq_stalls", sq_stalls);
+    reg.set("transport.ib.inline_sends", inline_sends);
+    reg.set("transport.ib.rnr_naks", rnr_naks);
+    reg.set("transport.ib.rnr_retries", rnr_retries);
   }
   // Folded only when a FaultPlan is enabled, so fault-free reports stay
   // byte-identical to builds that predate the fault layer.
@@ -588,10 +600,15 @@ Task<RdmaBatchResult> Transport::rdma_batch(Initiator from, NodeId dst,
 }
 
 std::unique_ptr<Transport> make_transport(Machine& machine, AmTarget& target) {
-  if (machine.params().kind == TransportKind::kGm) {
-    return std::make_unique<GmTransport>(machine, target);
+  switch (machine.params().kind) {
+    case TransportKind::kGm:
+      return std::make_unique<GmTransport>(machine, target);
+    case TransportKind::kLapi:
+      return std::make_unique<LapiTransport>(machine, target);
+    case TransportKind::kIb:
+      return std::make_unique<IbTransport>(machine, target);
   }
-  return std::make_unique<LapiTransport>(machine, target);
+  return std::make_unique<GmTransport>(machine, target);
 }
 
 }  // namespace xlupc::net

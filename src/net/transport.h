@@ -175,14 +175,25 @@ struct TransportStats {
   std::uint64_t nic_stall_waits = 0;  ///< injections delayed by a stall
   std::uint64_t bounce_fallbacks = 0; ///< transfers staged via bounce bufs
 
+  // Verbs queue-pair layer (src/net/ib). All zero on GM/LAPI; folded
+  // into the registry only for the IB transport, so GM/LAPI reports
+  // stay byte-identical to pre-IB builds.
+  std::uint64_t qp_posts = 0;      ///< WQEs posted to send queues
+  std::uint64_t sq_stalls = 0;     ///< posts that waited for a SQ slot
+  std::uint64_t inline_sends = 0;  ///< sends carried inline in the WQE
+  std::uint64_t rnr_naks = 0;      ///< receiver-not-ready NAKs received
+  std::uint64_t rnr_retries = 0;   ///< rendezvous re-sends after an RNR
+
   /// Fold this struct into `reg` under the stable dotted names of the
   /// observability taxonomy (`transport.*`; when `faults_enabled`, the
   /// transport-owned subset of `fault.*` / `reliability.*`; when
-  /// `coalescing_enabled`, the `transport.batch_*` family). The single
+  /// `coalescing_enabled`, the `transport.batch_*` family; when
+  /// `ib_enabled`, the `transport.ib.*` queue-pair family). The single
   /// fold point is what keeps the struct and the registry from drifting;
   /// metrics_test additionally asserts field-by-field equality.
   void fold_into(sim::MetricsRegistry& reg, bool faults_enabled,
-                 bool coalescing_enabled = false) const;
+                 bool coalescing_enabled = false,
+                 bool ib_enabled = false) const;
 };
 
 /// Identifies the initiating UPC thread's seat in the machine.
@@ -203,27 +214,30 @@ class Transport {
   Transport& operator=(const Transport&) = delete;
 
   /// Two-sided GET via the default SVD path (Fig. 3a / Fig. 5).
-  /// Completes when the data is available at the initiator.
-  sim::Task<GetReply> get(Initiator from, NodeId dst, GetRequest req);
+  /// Completes when the data is available at the initiator. Virtual so a
+  /// backend can substitute its own wire protocol (the IB transport's
+  /// verbs eager/rendezvous, src/net/ib).
+  virtual sim::Task<GetReply> get(Initiator from, NodeId dst, GetRequest req);
 
   /// Two-sided PUT. Completes at *local* completion (source buffer
   /// reusable); `on_ack` fires later at remote completion.
-  sim::Task<void> put(Initiator from, NodeId dst, PutRequest req,
-                      PutAckHook on_ack);
+  virtual sim::Task<void> put(Initiator from, NodeId dst, PutRequest req,
+                              PutAckHook on_ack);
 
   /// One-sided RDMA read of [raddr, raddr+len) at `dst` (Fig. 3b).
   /// Returns RdmaNak::kNotPinned when the target NAKs the window (memory
   /// no longer pinned); the caller invalidates its cache entry and falls
   /// back to the AM path.
-  sim::Task<RdmaGetResult> rdma_get(Initiator from, NodeId dst, Addr raddr,
-                                    std::uint32_t len);
+  virtual sim::Task<RdmaGetResult> rdma_get(Initiator from, NodeId dst,
+                                            Addr raddr, std::uint32_t len);
 
   /// One-sided RDMA write; completes at local completion, `on_done` fires
   /// when the data has landed in target memory. Returns a NAK when the
   /// target window is not pinned; `on_done` does not fire then.
-  sim::Task<RdmaPutResult> rdma_put(Initiator from, NodeId dst, Addr raddr,
-                                    std::vector<std::byte> data,
-                                    std::function<void()> on_done);
+  virtual sim::Task<RdmaPutResult> rdma_put(Initiator from, NodeId dst,
+                                            Addr raddr,
+                                            std::vector<std::byte> data,
+                                            std::function<void()> on_done);
 
   /// Aggregated small-op batch (docs/COALESCING.md): one framed wire
   /// message carrying every member, unpacked per leg on the handler CPU
@@ -269,12 +283,6 @@ class Transport {
   sim::Task<void> charge_reg_cache(sim::Resource& cpu, NodeId node, Addr addr,
                                    std::size_t len);
 
-  Machine& machine_;
-  AmTarget& target_;
-  std::vector<mem::RegistrationCache> reg_caches_;
-  TransportStats stats_;
-
- private:
   // --- reliability layer: delegated to the shared ProtocolEngine ---
   /// One wire traversal src -> dst; see ProtocolEngine::deliver.
   sim::Task<void> deliver(NodeId src, NodeId dst, sim::Resource* retx_nic,
@@ -286,6 +294,12 @@ class Transport {
     return protocol_.scaled(node, d);
   }
 
+  Machine& machine_;
+  AmTarget& target_;
+  std::vector<mem::RegistrationCache> reg_caches_;
+  TransportStats stats_;
+
+ private:
   sim::Task<GetReply> get_eager(Initiator from, NodeId dst, GetRequest req);
   sim::Task<GetReply> get_rendezvous(Initiator from, NodeId dst,
                                      GetRequest req);

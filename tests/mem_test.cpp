@@ -9,6 +9,7 @@
 #include "mem/address_space.h"
 #include "mem/pinned_table.h"
 #include "mem/registration_cache.h"
+#include "net/machine_registry.h"
 
 namespace xlupc::mem {
 namespace {
@@ -307,6 +308,94 @@ TEST(RegistrationCache, RegionLargerThanBudgetBounces) {
   rc.reset_counters();
   EXPECT_EQ(rc.bounces(), 0u);
   EXPECT_EQ(rc.resident_bytes(), 4 * 1024u);  // residency survives reset
+}
+
+// ---------------------------------------------------------------------
+// RegistrationCache under the IB pin budget
+//
+// The InfiniBand preset's DMAable budget is a quarter of GM's (HCA
+// translation tables are the scarce resource — docs/MACHINES.md), so on
+// that machine the lazy-deregistration cache runs under real pressure:
+// these tests pin the behaviours the verbs rendezvous path depends on.
+// ---------------------------------------------------------------------
+
+TEST(RegistrationCache, IbBudgetIsTighterThanGm) {
+  const auto ib = net::make_machine("ib");
+  const auto gm = net::make_machine("gm");
+  ASSERT_GT(ib.max_dmaable_bytes, 0u);
+  ASSERT_GT(gm.max_dmaable_bytes, 0u);
+  EXPECT_LE(ib.max_dmaable_bytes, gm.max_dmaable_bytes / 4);
+}
+
+TEST(RegistrationCache, TightBudgetEvictsInStrictLruOrder) {
+  // Four half-budget regions through a budget that holds two: each new
+  // registration must displace exactly the least-recently-used region,
+  // never a refreshed one.
+  const std::size_t half = 64 * 1024;
+  RegistrationCache rc(2 * half);
+  const Addr a = node_base(0);
+  const Addr b = a + (1 << 20);
+  const Addr c = a + (2 << 20);
+  const Addr d = a + (3 << 20);
+  rc.ensure(a, half);
+  rc.ensure(b, half);
+  rc.ensure(a, half);  // refresh: b becomes LRU
+  auto r1 = rc.ensure(c, half);
+  EXPECT_EQ(r1.evicted_regions, 1u);
+  EXPECT_TRUE(rc.ensure(a, 1).hit);    // refreshed region survived
+  EXPECT_FALSE(rc.ensure(b, 1).hit);   // LRU went first (re-registers b,
+                                       // evicting c — a was just touched)
+  auto r2 = rc.ensure(d, half);
+  EXPECT_EQ(r2.evicted_regions, 1u);  // a was LRU after b's re-registration
+  EXPECT_FALSE(rc.ensure(c, 1).hit);
+  EXPECT_LE(rc.resident_bytes(), 2 * half);  // never over budget
+  EXPECT_EQ(rc.evictions(), 3u);
+}
+
+TEST(RegistrationCache, OversizedTransferBouncesUnderIbBudgetWithoutEvicting) {
+  // A transfer wider than the whole budget must degrade to bounce-buffer
+  // staging (the rendezvous path's fallback) and — critically — must not
+  // flush the resident working set on its way out.
+  const std::size_t budget = 128 * 1024;
+  RegistrationCache rc(budget);
+  rc.ensure(node_base(0), 64 * 1024);
+  const std::size_t resident_before = rc.resident_bytes();
+  auto r = rc.ensure(node_base(0) + (8 << 20), budget + 1);
+  EXPECT_TRUE(r.bounced);
+  EXPECT_EQ(r.registered, 0u);
+  EXPECT_EQ(r.evicted_regions, 0u);
+  EXPECT_EQ(rc.resident_bytes(), resident_before);  // working set intact
+  EXPECT_TRUE(rc.ensure(node_base(0), 1).hit);
+  EXPECT_EQ(rc.bounces(), 1u);
+}
+
+TEST(RegistrationCache, CapEvictionCountersAccumulateAndReset) {
+  // Thrashing a tight budget: every round trips one cap eviction, the
+  // counters accumulate monotonically, and reset_counters() zeroes them
+  // without touching residency (extends the PR 2 overshoot regression to
+  // the cache that the IB transport actually drives).
+  const std::size_t region = 32 * 1024;
+  RegistrationCache rc(region);  // budget fits exactly one region
+  std::size_t dereg_total = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto r = rc.ensure(node_base(0) + static_cast<Addr>(i) * (1 << 20),
+                       region);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.bounced);
+    if (i > 0) {
+      EXPECT_EQ(r.evicted_regions, 1u);
+      EXPECT_EQ(r.deregistered, region);
+    }
+    dereg_total += r.deregistered;
+  }
+  EXPECT_EQ(rc.evictions(), 4u);
+  EXPECT_EQ(rc.misses(), 5u);
+  EXPECT_EQ(dereg_total, 4 * region);
+  EXPECT_EQ(rc.resident_bytes(), region);
+  rc.reset_counters();
+  EXPECT_EQ(rc.evictions(), 0u);
+  EXPECT_EQ(rc.misses(), 0u);
+  EXPECT_EQ(rc.resident_bytes(), region);  // residency survives the reset
 }
 
 TEST(PinnedTableChunked, CapEvictionCounterTracksAndResets) {

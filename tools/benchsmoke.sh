@@ -12,11 +12,20 @@
 # Reports land in $BENCHSMOKE_OUT when set (CI uploads them as
 # artifacts), otherwise in a throwaway temp dir.
 #
-# Usage: tools/benchsmoke.sh <build-dir> [seed]
+# With a third argument (a machine name: gm, lapi, ib — see
+# docs/MACHINES.md), only the machine-parameterised sweeps run, each
+# with --machine <name>; CI uses this to smoke the InfiniBand backend
+# and archive its reports separately.
+#
+# Usage: tools/benchsmoke.sh <build-dir> [seed] [machine]
 set -eu
 
-build=${1:?usage: benchsmoke.sh <build-dir> [seed]}
+build=${1:?usage: benchsmoke.sh <build-dir> [seed] [machine]}
 seed=${2:-1}
+machine=${3:-}
+
+# Benches that accept --machine (keep in sync with bench/*.cpp).
+machine_benches="fault_sweep pipeline_depth coalesce_sweep overlap_sweep"
 
 if [ -n "${BENCHSMOKE_OUT:-}" ]; then
   outdir=$BENCHSMOKE_OUT
@@ -37,8 +46,16 @@ for bin in "$build"/bench/*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
   name=$(basename "$bin")
   [ "$name" = "micro_datastructures" ] && continue
+  machine_args=""
+  if [ -n "$machine" ]; then
+    case " $machine_benches " in
+      *" $name "*) machine_args="--machine $machine" ;;
+      *) continue ;;  # bench has no --machine surface: skip in machine mode
+    esac
+  fi
   count=$((count + 1))
-  if ! "$bin" --seed "$seed" --json "$outdir/$name.json" \
+  # shellcheck disable=SC2086  # machine_args is intentionally word-split
+  if ! "$bin" --seed "$seed" $machine_args --json "$outdir/$name.json" \
       > "$outdir/$name.txt" 2> "$outdir/$name.err"; then
     echo "benchsmoke: $name exited nonzero" >&2
     cat "$outdir/$name.err" >&2
@@ -64,4 +81,4 @@ if [ "$count" -eq 0 ]; then
   exit 1
 fi
 [ "$failed" -eq 0 ] || exit 1
-echo "benchsmoke: $count benches, all reports valid (seed $seed)"
+echo "benchsmoke: $count benches, all reports valid (seed $seed${machine:+, machine $machine})"

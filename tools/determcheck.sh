@@ -8,17 +8,25 @@
 # same way. Any nondeterminism in the simulator, the completion engine,
 # or the metrics fold shows up here as a diff.
 #
-# Usage: tools/determcheck.sh <path-to-bench-binary> [seed]
+# Usage: tools/determcheck.sh <path-to-bench-binary> [seed] [machine]
+# The optional machine name (gm, lapi, ib — docs/MACHINES.md) is passed
+# through as --machine, so the IB backend gets the same replay gate.
 set -eu
 
-bin=${1:?usage: determcheck.sh <bench-binary> [seed]}
+bin=${1:?usage: determcheck.sh <bench-binary> [seed] [machine]}
 seed=${2:-1}
+machine=${3:-}
+
+machine_args=""
+[ -n "$machine" ] && machine_args="--machine $machine"
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-"$bin" --seed "$seed" --json "$tmpdir/a.json" > "$tmpdir/a.txt"
-"$bin" --seed "$seed" --json "$tmpdir/b.json" > "$tmpdir/b.txt"
+# shellcheck disable=SC2086  # machine_args is intentionally word-split
+"$bin" --seed "$seed" $machine_args --json "$tmpdir/a.json" > "$tmpdir/a.txt"
+# shellcheck disable=SC2086
+"$bin" --seed "$seed" $machine_args --json "$tmpdir/b.json" > "$tmpdir/b.txt"
 
 if ! cmp -s "$tmpdir/a.json" "$tmpdir/b.json"; then
   echo "determcheck: --json reports differ across same-seed runs" >&2
@@ -31,4 +39,4 @@ if ! cmp -s "$tmpdir/a.txt" "$tmpdir/b.txt"; then
   exit 1
 fi
 
-echo "determcheck: $(basename "$bin") seed $seed replays byte-identically"
+echo "determcheck: $(basename "$bin")${machine:+ on $machine} seed $seed replays byte-identically"

@@ -7,17 +7,26 @@
 #   2. the reports show actual recovery work: nonzero
 #      reliability.retransmits and reliability.rdma_nak_fallbacks.
 #
-# Usage: tools/faultcheck.sh <path-to-fault_sweep-binary> [seed]
+# Usage: tools/faultcheck.sh <path-to-fault_sweep-binary> [seed] [machine]
+# The optional machine name (gm, lapi, ib — docs/MACHINES.md) is passed
+# through as --machine: the reliability layer must recover losses (and
+# RNR-degraded pins) identically on every backend.
 set -eu
 
-bin=${1:?usage: faultcheck.sh <fault_sweep-binary> [seed]}
+bin=${1:?usage: faultcheck.sh <fault_sweep-binary> [seed] [machine]}
 seed=${2:-42}
+machine=${3:-}
+
+machine_args=""
+[ -n "$machine" ] && machine_args="--machine $machine"
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-"$bin" --seed "$seed" --json "$tmpdir/a.json" > "$tmpdir/a.txt"
-"$bin" --seed "$seed" --json "$tmpdir/b.json" > "$tmpdir/b.txt"
+# shellcheck disable=SC2086  # machine_args is intentionally word-split
+"$bin" --seed "$seed" $machine_args --json "$tmpdir/a.json" > "$tmpdir/a.txt"
+# shellcheck disable=SC2086
+"$bin" --seed "$seed" $machine_args --json "$tmpdir/b.json" > "$tmpdir/b.txt"
 
 if ! cmp -s "$tmpdir/a.json" "$tmpdir/b.json"; then
   echo "faultcheck: --json reports differ across same-seed runs" >&2
@@ -37,4 +46,4 @@ for counter in reliability.retransmits reliability.rdma_nak_fallbacks; do
   fi
 done
 
-echo "faultcheck: seed $seed replays byte-identically with recovery work"
+echo "faultcheck: seed $seed${machine:+ on $machine} replays byte-identically with recovery work"
