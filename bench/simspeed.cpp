@@ -1,0 +1,386 @@
+// simspeed — simulator-core throughput in simulated events per
+// wall-second (docs/PERFORMANCE.md).
+//
+// Three workloads:
+//  * fig9_mix     — a miniature of the DIS stressmark access mix
+//                   (pointer hops, read-modify-write updates, field-style
+//                   span scans) over the full runtime stack, the event
+//                   profile the fig9 benches spend their time in.
+//  * churn        — raw sim-layer stress: coroutine frames, resource
+//                   holds, triggers and timers churning at high rate with
+//                   no runtime logic to dilute the scheduler/allocator.
+//  * scale_probe  — (with --scale-probe) a 4096-node InfiniBand fat tree
+//                   doing neighbour reads: exercises thousand-node event
+//                   queues and per-node state at CI-friendly duration.
+//
+// Two execution modes, selectable per process:
+//  * fast   — pairing-heap scheduler + pooled allocation (the default
+//             production configuration).
+//  * legacy — the pre-refactor core: binary-heap scheduler
+//             (XLUPC_SIM_SCHEDULER=heap) with the allocation pool
+//             bypassed to plain operator new (pool_set_bypass).
+//
+// The default --mode compare runs every workload in both modes and
+// reports the speedup. Simulations are deterministic and scheduler-
+// independent, so both modes must execute the *exact same* event count —
+// simspeed exits nonzero if they ever disagree, and tools/perfcheck.sh
+// gates CI on the committed BENCH_simspeed.json event counts staying
+// exact.
+//
+// Usage: simspeed [--machine gm|lapi|ib] [--seed N] [--json <file>]
+//                 [--mode fast|legacy|compare] [--scale-probe]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "benchsupport/report.h"
+#include "benchsupport/table.h"
+#include "core/runtime.h"
+#include "net/machine_registry.h"
+#include "sim/event_queue.h"
+#include "sim/pool.h"
+#include "sim/rng.h"
+
+using namespace xlupc;
+using core::ArrayDesc;
+using core::UpcThread;
+using sim::Task;
+
+namespace {
+
+struct WorkloadResult {
+  std::uint64_t events = 0;  ///< simulator events executed (deterministic)
+  std::uint64_t sim_ns = 0;  ///< simulated time covered (deterministic)
+  double wall_ms = 0.0;      ///< wall-clock of the run loop (measured)
+
+  double events_per_sec() const {
+    return wall_ms > 0.0 ? events / (wall_ms / 1000.0) : 0.0;
+  }
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+// ------------------------------------------------------------------
+// fig9_mix: pointer + update + field phases over the full runtime.
+// ------------------------------------------------------------------
+WorkloadResult run_fig9_mix(const std::string& machine, std::uint64_t seed) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::make_machine(machine);
+  cfg.nodes = 16;
+  cfg.threads_per_node = 4;
+  cfg.seed = seed;
+  core::Runtime rt(std::move(cfg));
+  const std::uint64_t per_thread = 512;
+  const std::uint64_t n = per_thread * rt.threads();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.run([&rt, n](UpcThread& th) -> Task<void> {
+    ArrayDesc arr = co_await th.all_alloc(n, sizeof(std::uint64_t));
+    // Deterministic successor graph (setup is zero-cost, like the DIS
+    // stressmarks: the measured phases start after the barrier).
+    {
+      const std::uint64_t block = arr.layout->block_factor();
+      const std::uint64_t start = th.id() * block;
+      const std::uint64_t count =
+          std::min(block, start < n ? n - start : 0);
+      std::vector<std::uint64_t> init(count);
+      for (auto& v : init) v = th.rng().below(n);
+      if (count > 0) {
+        rt.debug_write(arr, start,
+                       std::as_bytes(std::span(init.data(), init.size())));
+      }
+    }
+    co_await th.barrier();
+    if (th.id() == 0) rt.warm_address_cache(arr);
+    co_await th.barrier();
+
+    // Pointer phase: serially dependent random hops.
+    std::uint64_t pos = th.rng().below(n);
+    for (std::uint32_t h = 0; h < 384; ++h) {
+      // Standalone initializer: see the gcc-12 co_await note in
+      // dis/pointer.cpp.
+      const std::uint64_t succ = co_await th.read<std::uint64_t>(arr, pos);
+      pos = succ % n;
+      co_await th.compute(40);
+    }
+    co_await th.barrier();
+
+    // Update phase: read-modify-write hops, drained by a fence.
+    for (std::uint32_t h = 0; h < 192; ++h) {
+      const std::uint64_t v = co_await th.read<std::uint64_t>(arr, pos);
+      co_await th.write<std::uint64_t>(arr, pos, v + th.id());
+      pos = (v + h) % n;
+      co_await th.compute(40);
+    }
+    co_await th.fence();
+    co_await th.barrier();
+
+    // Field phase: span scans with overhang into the next piece.
+    std::vector<std::byte> buf(64 * sizeof(std::uint64_t));
+    std::uint64_t start = th.rng().below(n - 64);
+    for (std::uint32_t s = 0; s < 48; ++s) {
+      co_await th.memget(arr, start, buf);
+      start = (start + 499) % (n - 64);
+      co_await th.compute(120);
+    }
+    co_await th.barrier();
+  });
+
+  WorkloadResult r;
+  r.wall_ms = ms_since(t0);
+  r.events = rt.simulator().events_executed();
+  r.sim_ns = rt.elapsed();
+  return r;
+}
+
+// ------------------------------------------------------------------
+// churn: raw scheduler/allocator stress (no runtime stack).
+// ------------------------------------------------------------------
+Task<void> churn_leaf(sim::Simulator& sim, sim::Trigger& t,
+                      sim::Duration d) {
+  co_await sim.delay(d);
+  t.fire();
+}
+
+Task<void> churn_child(sim::Simulator& sim, sim::Trigger& t,
+                       sim::Duration d) {
+  // A two-frame chain with a short-lived payload buffer: the allocation
+  // profile of one simulated communication operation (task frames plus a
+  // message body), reproduced without the runtime logic around it.
+  std::vector<std::byte, sim::PoolAllocator<std::byte>> payload(192);
+  payload[0] = std::byte{1};
+  sim::Trigger leaf_done(sim);
+  sim.spawn(churn_leaf(sim, leaf_done, d));
+  co_await leaf_done.wait();
+  t.fire();
+}
+
+Task<void> churn_actor(sim::Simulator& sim,
+                       std::vector<std::unique_ptr<sim::Resource>>& res,
+                       std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const std::size_t nres = res.size();
+  for (std::uint32_t i = 0; i < 1500; ++i) {
+    co_await res[rng.below(nres)]->use(1 + rng.below(50));
+    sim::Trigger done(sim);
+    sim.spawn(churn_child(sim, done, 1 + rng.below(120)));
+    co_await done.wait();
+    co_await sim.delay(rng.below(200));
+  }
+}
+
+WorkloadResult run_churn(std::uint64_t seed) {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<sim::Resource>> res;
+  for (int i = 0; i < 32; ++i) {
+    res.push_back(std::make_unique<sim::Resource>(sim, 2, "churn"));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    sim.spawn(churn_actor(sim, res, seed * 1000003 + a));
+  }
+  sim.run();
+  WorkloadResult r;
+  r.wall_ms = ms_since(t0);
+  r.events = sim.events_executed();
+  r.sim_ns = sim.now();
+  return r;
+}
+
+// ------------------------------------------------------------------
+// scale_probe: 4096-node InfiniBand fat tree, neighbour reads.
+// ------------------------------------------------------------------
+WorkloadResult run_scale_probe(std::uint64_t seed) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::make_machine("ib");
+  cfg.nodes = 4096;
+  cfg.threads_per_node = 1;
+  cfg.seed = seed;
+  core::Runtime rt(std::move(cfg));
+  const std::uint64_t per_thread = 16;
+  const std::uint64_t n = per_thread * rt.threads();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.run([&rt, n, per_thread](UpcThread& th) -> Task<void> {
+    ArrayDesc arr = co_await th.all_alloc(n, sizeof(std::uint64_t));
+    co_await th.barrier();
+    // Cold caches: first touches go over the AM path and populate the
+    // cache from the piggybacked base, later touches take the RDMA path
+    // — both tiers exercised at 4096-node scale.
+    const std::uint64_t threads = rt.threads();
+    std::uint64_t peer = (th.id() + 1) % threads;
+    std::uint64_t acc = 0;
+    for (std::uint32_t i = 0; i < 24; ++i) {
+      const std::uint64_t elem = peer * per_thread + (i % per_thread);
+      const std::uint64_t v = co_await th.read<std::uint64_t>(arr, elem);
+      acc += v;
+      peer = (peer + 37) % threads;
+      co_await th.compute(60);
+    }
+    co_await th.write<std::uint64_t>(arr, th.id() * per_thread, acc);
+    co_await th.fence();
+    co_await th.barrier();
+  });
+
+  WorkloadResult r;
+  r.wall_ms = ms_since(t0);
+  r.events = rt.simulator().events_executed();
+  r.sim_ns = rt.elapsed();
+  return r;
+}
+
+// ------------------------------------------------------------------
+// mode plumbing
+// ------------------------------------------------------------------
+void apply_mode(const std::string& mode) {
+  // Both knobs are read at construction time (EventQueue backend) or
+  // per-allocation (pool bypass); flipping them between simulations is
+  // supported and exact — see sim/pool.h.
+  if (mode == "legacy") {
+    ::setenv("XLUPC_SIM_SCHEDULER", "heap", 1);
+    sim::pool_set_bypass(true);
+  } else {
+    ::setenv("XLUPC_SIM_SCHEDULER", "pairing", 1);
+    sim::pool_set_bypass(false);
+  }
+}
+
+struct Options {
+  std::string machine = "gm";
+  std::uint64_t seed = 1;
+  std::string mode = "compare";
+  bool scale_probe = false;
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(stderr,
+               "usage: simspeed [--machine %s] [--seed N] [--json <file>]\n"
+               "                [--mode fast|legacy|compare] [--scale-probe]\n",
+               net::machine_names().c_str());
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    auto value = [&](std::string_view flag) -> std::string {
+      if (a.size() > flag.size() && a.substr(0, flag.size() + 1) ==
+                                        std::string(flag) + "=") {
+        return std::string(a.substr(flag.size() + 1));
+      }
+      if (i + 1 >= argc) usage_and_exit();
+      return argv[++i];
+    };
+    if (a == "--machine" || a.substr(0, 10) == "--machine=") {
+      opt.machine = value("--machine");
+    } else if (a == "--seed" || a.substr(0, 7) == "--seed=") {
+      opt.seed = std::strtoull(value("--seed").c_str(), nullptr, 10);
+    } else if (a == "--mode" || a.substr(0, 7) == "--mode=") {
+      opt.mode = value("--mode");
+      if (opt.mode != "fast" && opt.mode != "legacy" &&
+          opt.mode != "compare") {
+        usage_and_exit();
+      }
+    } else if (a == "--scale-probe") {
+      opt.scale_probe = true;
+    } else if (a == "--json" || a.substr(0, 7) == "--json=") {
+      value("--json");  // consumed again by the Reporter
+    } else if (a == "--help" || a == "-h") {
+      usage_and_exit();
+    }
+    // Unknown arguments are ignored, like every bench binary.
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  bench::Reporter rep("simspeed", argc, argv);
+  rep.config("machine", bench::Json::str(opt.machine));
+  rep.config("seed", bench::Json::number(opt.seed));
+  rep.config("mode", bench::Json::str(opt.mode));
+
+  struct Workload {
+    const char* name;
+    WorkloadResult (*run)(const Options&);
+  };
+  std::vector<Workload> workloads = {
+      {"fig9_mix",
+       [](const Options& o) { return run_fig9_mix(o.machine, o.seed); }},
+      {"churn", [](const Options& o) { return run_churn(o.seed); }},
+  };
+  if (opt.scale_probe) {
+    workloads.push_back(
+        {"scale_probe_4096",
+         [](const Options& o) { return run_scale_probe(o.seed); }});
+  }
+
+  std::printf("simspeed: machine=%s seed=%llu mode=%s\n\n",
+              opt.machine.c_str(),
+              static_cast<unsigned long long>(opt.seed), opt.mode.c_str());
+  bench::Table table(
+      {"workload", "mode", "events", "sim_ms", "wall_ms", "Mev/s"});
+  bool events_mismatch = false;
+
+  for (const Workload& w : workloads) {
+    WorkloadResult fast;
+    WorkloadResult legacy;
+    const bool run_fast = opt.mode != "legacy";
+    const bool run_legacy = opt.mode != "fast";
+    if (run_legacy) {
+      apply_mode("legacy");
+      legacy = w.run(opt);
+      table.row({w.name, "legacy", std::to_string(legacy.events),
+                 bench::fmt(legacy.sim_ns / 1e6, 2),
+                 bench::fmt(legacy.wall_ms, 1),
+                 bench::fmt(legacy.events_per_sec() / 1e6, 2)});
+    }
+    if (run_fast) {
+      apply_mode("fast");
+      fast = w.run(opt);
+      table.row({w.name, "fast", std::to_string(fast.events),
+                 bench::fmt(fast.sim_ns / 1e6, 2),
+                 bench::fmt(fast.wall_ms, 1),
+                 bench::fmt(fast.events_per_sec() / 1e6, 2)});
+    }
+    if (run_fast && run_legacy) {
+      if (fast.events != legacy.events || fast.sim_ns != legacy.sim_ns) {
+        std::fprintf(stderr,
+                     "simspeed: DETERMINISM VIOLATION on %s: fast "
+                     "%llu events / %llu ns vs legacy %llu events / %llu "
+                     "ns\n",
+                     w.name, static_cast<unsigned long long>(fast.events),
+                     static_cast<unsigned long long>(fast.sim_ns),
+                     static_cast<unsigned long long>(legacy.events),
+                     static_cast<unsigned long long>(legacy.sim_ns));
+        events_mismatch = true;
+      }
+      const double speedup =
+          legacy.wall_ms > 0.0 ? fast.events_per_sec() /
+                                     (legacy.events / (legacy.wall_ms / 1e3))
+                               : 0.0;
+      table.row({w.name, "speedup", "-", "-", "-", bench::fmt(speedup, 2)});
+    }
+  }
+
+  table.print();
+  std::printf(
+      "\nfast = pairing-heap scheduler + pooled allocation;\n"
+      "legacy = pre-refactor binary heap + plain operator new.\n"
+      "Both modes run the identical event sequence (exit 1 otherwise).\n");
+  rep.results(table);
+  const int rc = rep.finish();
+  if (events_mismatch) return 1;
+  return rc;
+}

@@ -14,15 +14,18 @@ using sim::Task;
 
 // ===================================================== tier dispatch ===
 
-Task<void> AccessPath::get_span(UpcThread& th, const ArrayDesc& a,
-                                Layout::Loc loc, std::span<std::byte> dst) {
+Task<void> AccessPath::get_span(UpcThread& th, ArrayDesc a, Layout::Loc loc,
+                                std::span<std::byte> dst) {
   const auto& p = rt_.cfg_.platform;
   const Layout& layout = *a.layout;
   const NodeId owner = layout.node_of(loc.thread);
   const std::uint64_t node_off = layout.node_offset(loc);
   const std::uint32_t len = static_cast<std::uint32_t>(dst.size());
   const sim::Time t_start = rt_.sim_.now();
+  // Gated up front: with tracing off (the common case) no TraceEvent is
+  // even constructed on this per-access path.
   auto trace = [&](TracePath path) {
+    if (!rt_.tracer_.enabled()) return;
     rt_.tracer_.record(
         TraceEvent{th.id(), TraceOp::kGet, path, owner, len, t_start,
                    rt_.sim_.now()});
@@ -103,8 +106,7 @@ Task<void> AccessPath::get_span(UpcThread& th, const ArrayDesc& a,
   trace(TracePath::kAm);
 }
 
-Task<void> AccessPath::put_span(UpcThread& th, const ArrayDesc& a,
-                                Layout::Loc loc,
+Task<void> AccessPath::put_span(UpcThread& th, ArrayDesc a, Layout::Loc loc,
                                 std::span<const std::byte> src) {
   const auto& p = rt_.cfg_.platform;
   const Layout& layout = *a.layout;
@@ -113,6 +115,7 @@ Task<void> AccessPath::put_span(UpcThread& th, const ArrayDesc& a,
   const std::uint32_t len = static_cast<std::uint32_t>(src.size());
   const sim::Time t_start = rt_.sim_.now();
   auto trace = [&](TracePath path) {
+    if (!rt_.tracer_.enabled()) return;
     rt_.tracer_.record(
         TraceEvent{th.id(), TraceOp::kPut, path, owner, len, t_start,
                    rt_.sim_.now()});
@@ -194,38 +197,48 @@ Task<void> AccessPath::put_span(UpcThread& th, const ArrayDesc& a,
 }
 
 Task<void> AccessPath::execute(UpcThread& th, CommOp op) {
+  // Plain dispatcher: single-run ops forward to the span coroutine with
+  // no execute() frame. Safe because get_span/put_span copy their
+  // ArrayDesc / Loc / span arguments into their own frame — nothing
+  // references the local `op` after this returns.
+  if (op.multi) return execute_multi(th, std::move(op));
   const Layout& layout = *op.array.layout;
-  if (op.multi) {
-    // memget/memput: split the range at ownership boundaries, exactly as
-    // the blocking loops did (each piece is contiguous on its owner).
-    const std::uint64_t es = layout.elem_size();
-    std::uint64_t total = op.bytes / es;
-    std::uint64_t elem = op.elem;
-    std::size_t off = 0;
-    while (total > 0) {
-      const std::uint64_t run = std::min(total, layout.run_length(elem));
-      if (op.kind == OpKind::kGet) {
-        co_await get_span(th, op.array, layout.locate(elem),
-                          std::span<std::byte>(op.dst + off, run * es));
-      } else {
-        co_await put_span(th, op.array, layout.locate(elem),
-                          std::span<const std::byte>(op.src + off, run * es));
-      }
-      elem += run;
-      off += run * es;
-      total -= run;
-    }
-    co_return;
-  }
   const Layout::Loc loc =
       op.two_d ? layout.locate2d(op.row, op.col) : layout.locate(op.elem);
   if (op.kind == OpKind::kGet) {
-    co_await get_span(th, op.array, loc,
-                      std::span<std::byte>(op.dst, op.bytes));
-  } else {
-    co_await put_span(th, op.array, loc,
-                      std::span<const std::byte>(op.src, op.bytes));
+    return get_span(th, std::move(op.array), loc,
+                    std::span<std::byte>(op.dst, op.bytes));
   }
+  return put_span(th, std::move(op.array), loc,
+                  std::span<const std::byte>(op.src, op.bytes));
+}
+
+Task<void> AccessPath::execute_multi(UpcThread& th, CommOp op) {
+  // memget/memput: split the range at ownership boundaries, exactly as
+  // the blocking loops did (each piece is contiguous on its owner).
+  const Layout& layout = *op.array.layout;
+  const std::uint64_t es = layout.elem_size();
+  std::uint64_t total = op.bytes / es;
+  std::uint64_t elem = op.elem;
+  std::size_t off = 0;
+  while (total > 0) {
+    const std::uint64_t run = std::min(total, layout.run_length(elem));
+    if (op.kind == OpKind::kGet) {
+      co_await get_span(th, op.array, layout.locate(elem),
+                        std::span<std::byte>(op.dst + off, run * es));
+    } else {
+      co_await put_span(th, op.array, layout.locate(elem),
+                        std::span<const std::byte>(op.src + off, run * es));
+    }
+    elem += run;
+    off += run * es;
+    total -= run;
+  }
+}
+
+Task<void> CompletionEngine::run_blocking(CommOp op) {
+  ++stats_.issued;
+  return rt_.path_.execute(th_, std::move(op));
 }
 
 // ========================================== coalescing eligibility ====
@@ -350,7 +363,7 @@ Task<void> CompletionEngine::wait(OpHandle h) {
   }
   if (!s.done) {
     ++stats_.wait_stalls;
-    s.waiter = std::make_unique<sim::Trigger>(rt_.sim_);
+    s.waiter.emplace(rt_.sim_);
     co_await s.waiter->wait();
   }
   const std::exception_ptr err = s.error;
@@ -379,7 +392,7 @@ void CompletionEngine::note_put_completed() {
 
 Task<void> CompletionEngine::drain_puts() {
   while (outstanding_puts_ > 0) {
-    fence_trigger_ = std::make_unique<sim::Trigger>(rt_.sim_);
+    fence_trigger_.emplace(rt_.sim_);
     co_await fence_trigger_->wait();
     fence_trigger_.reset();
   }

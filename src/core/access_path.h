@@ -35,9 +35,22 @@ class UpcThread;
 
 enum class OpKind : std::uint8_t { kGet, kPut };
 
+/// Non-owning view of an ArrayDesc for op descriptors. The aliasing
+/// shared_ptr constructor with an empty control block makes copies and
+/// destruction refcount-free — ops are issued tens of millions of times
+/// per run, and the atomic refcount churn of a full ArrayDesc copy was
+/// measurable (docs/PERFORMANCE.md). The caller's descriptor must outlive
+/// the op, which the UPC surface guarantees: blocking calls complete
+/// inline, and nonblocking handles must be waited before the array is
+/// freed.
+inline ArrayDesc unowned_view(const ArrayDesc& a) noexcept {
+  return ArrayDesc{a.handle, LayoutPtr(LayoutPtr(), a.layout.get())};
+}
+
 /// One data-movement operation, fully described at issue time. For
 /// `multi` ops (memget/memput) the range is split at ownership
 /// boundaries at execution time, exactly as the blocking loops did.
+/// `array` is an unowned_view — see above.
 struct CommOp {
   OpKind kind = OpKind::kGet;
   ArrayDesc array;
@@ -85,13 +98,18 @@ class AccessPath {
 
   /// Serve one CommOp to completion (local completion for PUTs; remote
   /// completion is tracked by the thread's CompletionEngine for fence).
+  /// A plain dispatcher, not a coroutine: single-run ops (the common
+  /// case) forward straight to get_span/put_span with no frame of their
+  /// own; only multi-run memget/memput ops pay for a splitting coroutine.
   sim::Task<void> execute(UpcThread& th, CommOp op);
 
   /// The tier dispatch for one contiguous span (never crosses an
-  /// ownership boundary).
-  sim::Task<void> get_span(UpcThread& th, const ArrayDesc& a, Layout::Loc loc,
+  /// ownership boundary). The descriptor is taken by value — copies of an
+  /// unowned_view are refcount-free — so callers may pass a descriptor
+  /// that dies before the returned task is awaited.
+  sim::Task<void> get_span(UpcThread& th, ArrayDesc a, Layout::Loc loc,
                            std::span<std::byte> dst);
-  sim::Task<void> put_span(UpcThread& th, const ArrayDesc& a, Layout::Loc loc,
+  sim::Task<void> put_span(UpcThread& th, ArrayDesc a, Layout::Loc loc,
                            std::span<const std::byte> src);
 
   // --- coalescing routing helpers (docs/COALESCING.md) ---
@@ -107,6 +125,10 @@ class AccessPath {
   static net::RdmaBatchOp to_batch_op(const CommOp& op);
 
  private:
+  /// memget/memput: split the range at ownership boundaries (coroutine —
+  /// the loop needs a frame to live in across the per-piece awaits).
+  sim::Task<void> execute_multi(UpcThread& th, CommOp op);
+
   Runtime& rt_;
 };
 
@@ -120,10 +142,17 @@ class CompletionEngine {
   CompletionEngine(const CompletionEngine&) = delete;
   CompletionEngine& operator=(const CompletionEngine&) = delete;
 
-  /// Record `op` in a fresh slot. Deferred ops execute inside wait()
-  /// (blocking wrappers); async ops start a runner coroutine at the
-  /// current simulated time and overlap with the caller.
+  /// Record `op` in a fresh slot. Deferred ops execute inside wait();
+  /// async ops start a runner coroutine at the current simulated time
+  /// and overlap with the caller.
   OpHandle issue(CommOp op, bool deferred);
+
+  /// Blocking-wrapper fast path: count the op and execute it inline,
+  /// with no slot, handle, or wait() frame. Equivalent to
+  /// wait(issue(op, /*deferred=*/true)) — the deferred flow performs no
+  /// simulated-time work before execute(), so events and reports are
+  /// byte-identical — but two coroutine frames cheaper per access.
+  sim::Task<void> run_blocking(CommOp op);
 
   /// Complete the op behind `h`: execute it inline if deferred, suspend
   /// until the runner finishes if async (rethrowing any error it hit).
@@ -166,7 +195,9 @@ class CompletionEngine {
     bool done = false;
     bool staged = false;  ///< parked in a coalescing buffer / in a batch
     CommOp op;
-    std::unique_ptr<sim::Trigger> waiter;
+    // In-place (optional, not unique_ptr): a wait stall happens on every
+    // contended access and must not cost a heap round trip.
+    std::optional<sim::Trigger> waiter;
     std::exception_ptr error;
   };
 
@@ -190,7 +221,7 @@ class CompletionEngine {
 
   // PUT remote-completion tracking for fence()/drain_puts().
   std::uint64_t outstanding_puts_ = 0;
-  std::unique_ptr<sim::Trigger> fence_trigger_;
+  std::optional<sim::Trigger> fence_trigger_;
 
   // Small-message staging buffers (inert unless cfg.coalesce is on).
   CoalescingEngine coalescer_{rt_, th_, *this};

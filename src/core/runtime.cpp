@@ -362,7 +362,7 @@ net::AmTarget::PutServe Runtime::serve_put_rendezvous(
 
 void Runtime::deliver_put_payload(NodeId target, std::uint64_t svd_handle,
                                   std::uint64_t offset,
-                                  std::vector<std::byte>&& data) {
+                                  net::Bytes&& data) {
   const svd::Handle h = svd::Handle::unpack(svd_handle);
   const Addr addr = local_translate(target, h, offset, data.size());
   node(target).space->write(addr, data);
@@ -624,7 +624,7 @@ CommOp UpcThread::checked_op_1d(OpKind kind, const ArrayDesc& a,
   }
   CommOp op;
   op.kind = kind;
-  op.array = a;
+  op.array = unowned_view(a);
   op.elem = elem;
   op.dst = dst;
   op.src = src;
@@ -645,7 +645,7 @@ CommOp UpcThread::checked_op_multi(OpKind kind, const ArrayDesc& a,
   }
   CommOp op;
   op.kind = kind;
-  op.array = a;
+  op.array = unowned_view(a);
   op.elem = elem;
   op.multi = true;
   op.dst = dst;
@@ -669,7 +669,7 @@ CommOp UpcThread::checked_op_2d(OpKind kind, const ArrayDesc& a,
   }
   CommOp op;
   op.kind = kind;
-  op.array = a;
+  op.array = unowned_view(a);
   op.row = r;
   op.col = c;
   op.two_d = true;
@@ -683,36 +683,31 @@ CommOp UpcThread::checked_op_2d(OpKind kind, const ArrayDesc& a,
 
 Task<void> UpcThread::get(const ArrayDesc& a, std::uint64_t elem,
                           std::span<std::byte> dst) {
-  const OpHandle h = completion_.issue(
-      checked_op_1d(OpKind::kGet, a, elem, dst.data(), nullptr, dst.size()),
-      /*deferred=*/true);
-  co_await completion_.wait(h);
+  // Plain function, not a coroutine: argument checks and op construction
+  // have no simulated-time side effects, so the wrapper forwards the
+  // execute task directly — no wrapper, wait() or execute() frame. All
+  // call sites co_await immediately, so the issue point is unchanged in
+  // simulated time.
+  return completion_.run_blocking(
+      checked_op_1d(OpKind::kGet, a, elem, dst.data(), nullptr, dst.size()));
 }
 
 Task<void> UpcThread::put(const ArrayDesc& a, std::uint64_t elem,
                           std::span<const std::byte> src) {
-  const OpHandle h = completion_.issue(
-      checked_op_1d(OpKind::kPut, a, elem, nullptr, src.data(), src.size()),
-      /*deferred=*/true);
-  co_await completion_.wait(h);
+  return completion_.run_blocking(
+      checked_op_1d(OpKind::kPut, a, elem, nullptr, src.data(), src.size()));
 }
 
 Task<void> UpcThread::memget(const ArrayDesc& a, std::uint64_t elem_start,
                              std::span<std::byte> dst) {
-  const OpHandle h = completion_.issue(
-      checked_op_multi(OpKind::kGet, a, elem_start, dst.data(), nullptr,
-                       dst.size()),
-      /*deferred=*/true);
-  co_await completion_.wait(h);
+  return completion_.run_blocking(checked_op_multi(
+      OpKind::kGet, a, elem_start, dst.data(), nullptr, dst.size()));
 }
 
 Task<void> UpcThread::memput(const ArrayDesc& a, std::uint64_t elem_start,
                              std::span<const std::byte> src) {
-  const OpHandle h = completion_.issue(
-      checked_op_multi(OpKind::kPut, a, elem_start, nullptr, src.data(),
-                       src.size()),
-      /*deferred=*/true);
-  co_await completion_.wait(h);
+  return completion_.run_blocking(checked_op_multi(
+      OpKind::kPut, a, elem_start, nullptr, src.data(), src.size()));
 }
 
 // --- nonblocking surface ----------------------------------------------
@@ -779,18 +774,14 @@ Task<void> UpcThread::memcpy_shared(const ArrayDesc& dst,
 
 Task<void> UpcThread::get2d(const ArrayDesc& a, std::uint64_t r,
                             std::uint64_t c, std::span<std::byte> dst) {
-  const OpHandle h = completion_.issue(
-      checked_op_2d(OpKind::kGet, a, r, c, dst.data(), nullptr, dst.size()),
-      /*deferred=*/true);
-  co_await completion_.wait(h);
+  return completion_.run_blocking(
+      checked_op_2d(OpKind::kGet, a, r, c, dst.data(), nullptr, dst.size()));
 }
 
 Task<void> UpcThread::put2d(const ArrayDesc& a, std::uint64_t r,
                             std::uint64_t c, std::span<const std::byte> src) {
-  const OpHandle h = completion_.issue(
-      checked_op_2d(OpKind::kPut, a, r, c, nullptr, src.data(), src.size()),
-      /*deferred=*/true);
-  co_await completion_.wait(h);
+  return completion_.run_blocking(
+      checked_op_2d(OpKind::kPut, a, r, c, nullptr, src.data(), src.size()));
 }
 
 Task<std::uint64_t> UpcThread::fetch_add(const ArrayDesc& a,

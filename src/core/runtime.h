@@ -269,7 +269,7 @@ class Runtime final : public net::AmTarget {
                                 std::size_t len) override;
   void deliver_put_payload(NodeId target, std::uint64_t svd_handle,
                            std::uint64_t offset,
-                           std::vector<std::byte>&& data) override;
+                           net::Bytes&& data) override;
   void serve_control(NodeId target, NodeId source,
                      const net::ControlMsg& msg) override;
   net::RdmaWindow rdma_memory(NodeId target, Addr addr,

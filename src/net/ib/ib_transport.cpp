@@ -421,8 +421,8 @@ Task<RdmaGetResult> IbTransport::rdma_get(Initiator from, NodeId dst,
 
 Task<RdmaPutResult> IbTransport::rdma_put(Initiator from, NodeId dst,
                                           Addr raddr,
-                                          std::vector<std::byte> data,
-                                          std::function<void()> on_done) {
+                                          Bytes data,
+                                          DoneHook on_done) {
   co_await qp_post(from.node, dst);
   // The base write returns at local completion (source buffer drained);
   // the RDMA-write WQE retires then — the landing half needs no QP slot.

@@ -36,8 +36,8 @@ class IbTransport final : public Transport {
   sim::Task<RdmaGetResult> rdma_get(Initiator from, NodeId dst, Addr raddr,
                                     std::uint32_t len) override;
   sim::Task<RdmaPutResult> rdma_put(Initiator from, NodeId dst, Addr raddr,
-                                    std::vector<std::byte> data,
-                                    std::function<void()> on_done) override;
+                                    Bytes data,
+                                    DoneHook on_done) override;
 
   /// Test introspection: the initiator-side completion queue of `node`.
   const ib::CompletionQueue& completion_queue(NodeId node) const {

@@ -12,8 +12,15 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/pool.h"
 
 namespace xlupc::net {
+
+/// Message payload buffer. Backed by the simulation pool: payloads are
+/// allocated and freed once or twice per simulated operation, and the
+/// size-class freelists recycle them instead of hitting malloc
+/// (docs/PERFORMANCE.md).
+using Bytes = std::vector<std::byte, sim::PoolAllocator<std::byte>>;
 
 /// Remote base address + RDMA key, piggybacked on replies/ACKs to
 /// populate the initiator's remote address cache (Sec. 3).
@@ -39,7 +46,7 @@ struct GetRequest {
 
 /// AM GET reply: the data plus the optional piggybacked base address.
 struct GetReply {
-  std::vector<std::byte> data;
+  Bytes data;
   std::optional<BaseInfo> base;
 };
 
@@ -47,7 +54,7 @@ struct GetReply {
 struct PutRequest {
   std::uint64_t svd_handle = 0;
   std::uint64_t offset = 0;
-  std::vector<std::byte> data;
+  Bytes data;
   bool want_base = false;
   std::uint32_t target_core = 0;
   /// Initiator-side only: identity of the private source buffer for
@@ -72,7 +79,7 @@ struct RdmaBatchOp {
   std::uint64_t offset = 0;
   std::uint32_t len = 0;
   std::uint32_t target_core = 0;  ///< core owning the member's UPC thread
-  std::vector<std::byte> data;    ///< PUT payload (empty for GETs)
+  Bytes data;    ///< PUT payload (empty for GETs)
 };
 
 /// Aggregated wire message: many small operations bound for one node,
@@ -88,7 +95,7 @@ struct RdmaBatch {
 
 /// Reply to an RdmaBatch: the GET members' payloads, in batch order.
 struct RdmaBatchResult {
-  std::vector<std::vector<std::byte>> get_data;
+  std::vector<Bytes> get_data;
 };
 
 /// Wire size of one batch member's descriptor (handle + offset + length

@@ -17,20 +17,13 @@ Duration ProtocolEngine::scaled(NodeId node, Duration d) const {
   return static_cast<Duration>(static_cast<double>(d) * f);
 }
 
-Task<void> ProtocolEngine::deliver(NodeId src, NodeId dst,
-                                   sim::Resource* retx_nic,
-                                   Duration retx_cost,
-                                   std::uint64_t retx_bytes) {
+Task<void> ProtocolEngine::deliver_faulty(NodeId src, NodeId dst,
+                                          sim::Resource* retx_nic,
+                                          Duration retx_cost,
+                                          std::uint64_t retx_bytes) {
   auto& sim = machine_.simulator();
   const Duration lat = machine_.latency(src, dst);
   sim::FaultPlan& plan = machine_.faults();
-  if (!plan.enabled()) {
-    // Null plan: exactly the bare latency delay the seed charged — same
-    // event count, same timing, byte-identical reports.
-    co_await sim.delay(lat);
-    co_return;
-  }
-
   const sim::FaultParams& fp = plan.params();
   const std::uint64_t link = (static_cast<std::uint64_t>(src) << 32) | dst;
   LinkSeq& ls = link_seq_[link];

@@ -57,8 +57,46 @@ class ProtocolEngine {
   /// the wire again) until delivery. Throws TransportTimeout after
   /// FaultParams::max_retransmits. With the null plan this is exactly
   /// one latency delay — no extra events, no extra cost.
-  sim::Task<void> deliver(NodeId src, NodeId dst, sim::Resource* retx_nic,
-                          sim::Duration retx_cost, std::uint64_t retx_bytes);
+  ///
+  /// Returned as a frameless awaitable: the null-plan case (every
+  /// fault-free run — two traversals per AM operation) schedules the
+  /// caller's resumption directly, with no coroutine frame at all. Only
+  /// fault-plan runs pay for the reliability coroutine.
+  auto deliver(NodeId src, NodeId dst, sim::Resource* retx_nic,
+               sim::Duration retx_cost, std::uint64_t retx_bytes) {
+    struct Awaiter {
+      sim::Simulator* sim;
+      sim::Duration lat;        ///< fast path: bare link latency
+      sim::Task<void> slow;     ///< engaged only under a fault plan
+      std::coroutine_handle<> slow_handle{};
+
+      bool await_ready() const noexcept {
+        return !slow.valid() && lat == 0;
+      }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+        if (!slow.valid()) {
+          sim->schedule_resume_after(lat, h);
+          return std::noop_coroutine();
+        }
+        auto aw = std::move(slow).operator co_await();
+        slow_handle = aw.handle;
+        return aw.await_suspend(h);
+      }
+      void await_resume() {
+        if (slow_handle) {
+          auto& p = std::coroutine_handle<
+              sim::Task<void>::promise_type>::from_address(slow_handle.address())
+                        .promise();
+          if (p.error) std::rethrow_exception(p.error);
+        }
+      }
+    };
+    if (!machine_.faults().enabled()) {
+      return Awaiter{&machine_.simulator(), machine_.latency(src, dst), {}};
+    }
+    return Awaiter{&machine_.simulator(), 0,
+                   deliver_faulty(src, dst, retx_nic, retx_cost, retx_bytes)};
+  }
 
   /// Target-side handler service time scaled by any active NodeSlowdown
   /// window (identity when no plan is enabled).
@@ -79,6 +117,12 @@ class ProtocolEngine {
     std::uint64_t next_seq = 0;       ///< sender-side stamp counter
     std::uint64_t delivered_hwm = 0;  ///< highest delivered seq + 1
   };
+
+  /// The full reliability state machine (fault-plan runs only).
+  sim::Task<void> deliver_faulty(NodeId src, NodeId dst,
+                                 sim::Resource* retx_nic,
+                                 sim::Duration retx_cost,
+                                 std::uint64_t retx_bytes);
 
   Machine& machine_;
   ProtocolStats stats_;

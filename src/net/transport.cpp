@@ -434,7 +434,7 @@ Task<RdmaGetResult> Transport::rdma_get(Initiator from, NodeId dst, Addr raddr,
     co_await machine_.core(from.node, from.core).use(p.rdma_completion);
     co_return RdmaGetResult{win.nak, {}};
   }
-  std::vector<std::byte> out(win.memory, win.memory + len);
+  Bytes out(win.memory, win.memory + len);
   co_await sim.delay(p.dma_engine_overhead +
                      machine_.serialize_with_header(len));
   dma.release();
@@ -449,8 +449,8 @@ Task<RdmaGetResult> Transport::rdma_get(Initiator from, NodeId dst, Addr raddr,
 }
 
 Task<RdmaPutResult> Transport::rdma_put(Initiator from, NodeId dst, Addr raddr,
-                                        std::vector<std::byte> data,
-                                        std::function<void()> on_done) {
+                                        Bytes data,
+                                        DoneHook on_done) {
   ++stats_.rdma_puts;
   auto& sim = machine_.simulator();
   const auto& p = machine_.params();
@@ -488,8 +488,8 @@ Task<RdmaPutResult> Transport::rdma_put(Initiator from, NodeId dst, Addr raddr,
 
 Task<void> Transport::rdma_put_landing(Initiator from, NodeId dst,
                                        std::byte* dst_mem,
-                                       std::vector<std::byte> data,
-                                       std::function<void()> on_done) {
+                                       Bytes data,
+                                       DoneHook on_done) {
   const auto& p = machine_.params();
   try {
     co_await deliver(from.node, dst, &machine_.nic_dma(from.node),

@@ -71,7 +71,7 @@ struct RdmaWindow {
 /// Outcome of a one-sided read: either the data, or the NAK reason.
 struct RdmaGetResult {
   RdmaNak nak = RdmaNak::kNone;
-  std::vector<std::byte> data;
+  Bytes data;
 
   bool ok() const noexcept { return nak == RdmaNak::kNone; }
 };
@@ -92,7 +92,7 @@ class AmTarget {
   virtual ~AmTarget() = default;
 
   struct GetServe {
-    std::vector<std::byte> data;       ///< bytes read from the object
+    Bytes data;       ///< bytes read from the object
     Addr src_addr = kNullAddr;         ///< local address of the data
     std::optional<BaseInfo> base;      ///< piggyback when requested
     std::size_t reg_new_bytes = 0;     ///< pinning work performed
@@ -110,7 +110,7 @@ class AmTarget {
   /// Result of applying an aggregated batch: the GET members' data, in
   /// batch order (docs/COALESCING.md).
   struct BatchServe {
-    std::vector<std::vector<std::byte>> get_data;
+    std::vector<Bytes> get_data;
   };
 
   virtual GetServe serve_get(NodeId target, const GetRequest& req) = 0;
@@ -130,7 +130,7 @@ class AmTarget {
   /// Deliver rendezvous PUT payload straight into target memory (DMA).
   virtual void deliver_put_payload(NodeId target, std::uint64_t svd_handle,
                                    std::uint64_t offset,
-                                   std::vector<std::byte>&& data) = 0;
+                                   Bytes&& data) = 0;
 
   /// Validated window for the RDMA engine. Returns RdmaNak::kNotPinned
   /// when [addr, addr+len) is valid memory but not currently pinned (the
@@ -206,7 +206,11 @@ class Transport {
  public:
   /// Called on the initiator when a PUT's acknowledgement arrives (remote
   /// completion); carries the piggybacked base address when present.
-  using PutAckHook = std::function<void(const PutAck&)>;
+  /// SmallFn keeps the runtime's capture (cache key + thread id) inline —
+  /// the std::function it replaces heap-allocated it on every remote PUT.
+  using PutAckHook = sim::SmallFn<void(const PutAck&)>;
+  /// RDMA-write landing hook (remote completion), same inline treatment.
+  using DoneHook = sim::SmallFn<void()>;
 
   Transport(Machine& machine, AmTarget& target);
   virtual ~Transport() = default;
@@ -236,8 +240,8 @@ class Transport {
   /// target window is not pinned; `on_done` does not fire then.
   virtual sim::Task<RdmaPutResult> rdma_put(Initiator from, NodeId dst,
                                             Addr raddr,
-                                            std::vector<std::byte> data,
-                                            std::function<void()> on_done);
+                                            Bytes data,
+                                            DoneHook on_done);
 
   /// Aggregated small-op batch (docs/COALESCING.md): one framed wire
   /// message carrying every member, unpacked per leg on the handler CPU
@@ -285,8 +289,8 @@ class Transport {
 
   // --- reliability layer: delegated to the shared ProtocolEngine ---
   /// One wire traversal src -> dst; see ProtocolEngine::deliver.
-  sim::Task<void> deliver(NodeId src, NodeId dst, sim::Resource* retx_nic,
-                          sim::Duration retx_cost, std::uint64_t retx_bytes) {
+  auto deliver(NodeId src, NodeId dst, sim::Resource* retx_nic,
+               sim::Duration retx_cost, std::uint64_t retx_bytes) {
     return protocol_.deliver(src, dst, retx_nic, retx_cost, retx_bytes);
   }
   /// Handler service time under slowdowns; see ProtocolEngine::scaled.
@@ -318,8 +322,8 @@ class Transport {
   // Detached landing half of an accepted rdma_put.
   sim::Task<void> rdma_put_landing(Initiator from, NodeId dst,
                                    std::byte* dst_mem,
-                                   std::vector<std::byte> data,
-                                   std::function<void()> on_done);
+                                   Bytes data,
+                                   DoneHook on_done);
 
   ProtocolEngine protocol_;
   /// Read-time merge target of stats_ + protocol_.stats(); refreshed on

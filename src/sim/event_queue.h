@@ -1,34 +1,70 @@
 // Time-ordered event queue for the discrete-event simulator.
 //
 // Events with equal timestamps are delivered in insertion order (FIFO),
-// which makes every simulation deterministic.
+// which makes every simulation deterministic: the key is the pair
+// (time, seq) with seq a monotone schedule counter, a strict total
+// order, so every backend pops the exact same sequence and whole runs
+// stay byte-identical whichever scheduler is selected.
+//
+// Two backends (docs/PERFORMANCE.md):
+//  * kPairing (default) — a pairing heap over arena/freelist nodes.
+//    schedule() is O(1) (one meld), pop is amortized O(log n) (two-pass
+//    sibling merge), and nodes never move after construction, so the
+//    callback payload is built once and run in place. The node arena
+//    recycles freed nodes LIFO; steady state allocates nothing.
+//  * kHeap — the pre-refactor binary heap (std::priority_queue), kept as
+//    the reference scheduler: bench/simspeed measures the fast path
+//    against it and tests assert both produce identical runs.
+//
+// Backend selection: explicit constructor argument, or the
+// XLUPC_SIM_SCHEDULER environment variable ("pairing" | "heap") for
+// whole-process experiments; anything else falls back to kPairing.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace xlupc::sim {
 
-/// Min-heap of timed callbacks with stable ordering for ties.
+enum class SchedulerBackend : std::uint8_t {
+  kPairing,  ///< pairing heap + node arena (fast path, default)
+  kHeap,     ///< binary heap of (time, seq, callback) (legacy reference)
+};
+
+/// Resolve XLUPC_SIM_SCHEDULER ("pairing" | "heap"); kPairing otherwise.
+SchedulerBackend default_scheduler_backend() noexcept;
+
+/// Min-queue of timed callbacks with stable FIFO ordering for ties.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
+
+  explicit EventQueue(
+      SchedulerBackend backend = default_scheduler_backend());
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue();
+
+  SchedulerBackend backend() const noexcept { return backend_; }
 
   /// Schedule `fn` to run at absolute time `t`.
   void schedule(Time t, Callback fn);
 
   /// True when no events remain.
-  bool empty() const noexcept { return heap_.empty(); }
+  bool empty() const noexcept { return size_ == 0; }
 
   /// Number of pending events.
-  std::size_t size() const noexcept { return heap_.size(); }
+  std::size_t size() const noexcept { return size_; }
 
   /// Timestamp of the earliest pending event. Precondition: !empty().
-  Time next_time() const { return heap_.top().time; }
+  Time next_time() const {
+    return backend_ == SchedulerBackend::kPairing ? root_->time
+                                                  : heap_.top().time;
+  }
 
   /// Remove and run the earliest event; returns its timestamp.
   Time pop_and_run();
@@ -36,11 +72,50 @@ class EventQueue {
   /// Total number of events executed so far (for micro-benchmarks/tests).
   std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Pairing-heap arena occupancy (tests: reuse under churn). Both count
+  /// nodes; capacity never shrinks, so steady state means
+  /// arena_capacity() stops growing while events keep flowing.
+  std::size_t arena_capacity() const noexcept { return arena_capacity_; }
+  std::size_t arena_free() const noexcept { return arena_free_count_; }
+
  private:
+  // --- pairing-heap backend ---------------------------------------
+  struct Node {
+    Time time;
+    std::uint64_t seq;
+    Node* child;    // leftmost child (higher key)
+    Node* sibling;  // next sibling / freelist link
+    Callback fn;
+  };
+
+  // Meld two heaps; the (time, seq) minimum becomes the root.
+  static Node* meld(Node* a, Node* b) noexcept {
+    if (b->time < a->time || (b->time == a->time && b->seq < a->seq)) {
+      Node* t = a;
+      a = b;
+      b = t;
+    }
+    b->sibling = a->child;
+    a->child = b;
+    return a;
+  }
+
+  void* alloc_block();
+  void release_block(void* p) noexcept;
+  Node* pop_min_pairing();
+
+  Node* root_ = nullptr;
+  void* free_blocks_ = nullptr;  // raw-storage freelist, linked in place
+  std::vector<void*> arena_chunks_;
+  std::size_t arena_capacity_ = 0;
+  std::size_t arena_free_count_ = 0;
+  std::vector<Node*> merge_scratch_;  // reused across pops (no realloc)
+
+  // --- legacy binary-heap backend ----------------------------------
   struct Event {
     Time time;
     std::uint64_t seq;
-    Callback fn;
+    mutable Callback fn;  // moved out of top() before pop
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -48,8 +123,10 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+
+  SchedulerBackend backend_;
+  std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
 };

@@ -1,0 +1,92 @@
+// Size-class freelist pool for short-lived simulation objects.
+//
+// The discrete-event hot path allocates millions of small, short-lived
+// blocks per simulated second: coroutine frames for every Task<> in a
+// co_await chain, heap-spilled callbacks, pairing-heap nodes. glibc
+// malloc/free dominated the event loop before this pool existed (~2.8
+// mallocs per simulated event on the fig9 stressmark mix). The pool
+// replaces them with LIFO freelists binned by size class, so a block
+// freed by one GET's coroutine frame is re-used — cache-hot — by the
+// next GET a few events later.
+//
+// Design (docs/PERFORMANCE.md):
+//  * classes of 32-byte granularity up to 2 KiB; larger blocks fall
+//    through to operator new. Every block carries a 16-byte header
+//    recording its class, so frees dispatch correctly even for blocks
+//    allocated before a mode switch.
+//  * backing chunks of 64 KiB are carved whole into a class's freelist
+//    and are never returned to the OS: steady-state simulation reaches a
+//    high-water mark once and allocates nothing afterwards.
+//  * single-threaded by design, like the simulator itself. There is one
+//    process-global pool (coroutine frames outlive any one Simulator).
+//  * pool_set_bypass(true) routes new blocks to operator new — the
+//    pre-refactor allocation behaviour, kept so bench/simspeed can
+//    measure the pool's contribution honestly. Blocks remain tagged, so
+//    the modes can be switched between (not during) simulations.
+//
+// Determinism: pointer values never influence simulation behaviour, so
+// the pool cannot change results — only wall-clock speed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xlupc::sim {
+
+/// Allocate `bytes` from the pool (or operator new in bypass mode /
+/// for oversize blocks). Never returns nullptr; throws std::bad_alloc.
+void* pool_alloc(std::size_t bytes);
+
+/// Return a pool_alloc'd block to its freelist (or operator delete).
+void pool_free(void* p) noexcept;
+
+/// Allocation statistics, for tests and docs/PERFORMANCE.md numbers.
+struct PoolStats {
+  std::uint64_t allocations = 0;  ///< total pool_alloc calls
+  std::uint64_t reuses = 0;       ///< served from a freelist (cache-hot)
+  std::uint64_t frees = 0;        ///< total pool_free calls
+  std::uint64_t oversize = 0;     ///< larger than the largest class
+  std::uint64_t chunks = 0;       ///< 64 KiB backing chunks carved
+  std::uint64_t chunk_bytes = 0;  ///< total backing bytes reserved
+};
+const PoolStats& pool_stats() noexcept;
+
+/// Route future allocations straight to operator new (the pre-pool
+/// behaviour). Existing blocks stay valid: frees consult the per-block
+/// header. Only flip this between simulations (bench/simspeed --mode).
+void pool_set_bypass(bool on) noexcept;
+bool pool_bypass() noexcept;
+
+/// Mixin giving a class (and, for coroutine promise types, the whole
+/// coroutine frame) pooled allocation. Task<T>::promise_type and
+/// Simulator's detached driver inherit this, which is what removes the
+/// per-operation frame malloc from every co_await chain.
+struct PooledFrame {
+  static void* operator new(std::size_t n) { return pool_alloc(n); }
+  static void operator delete(void* p) noexcept { pool_free(p); }
+  static void operator delete(void* p, std::size_t) noexcept { pool_free(p); }
+};
+
+/// STL allocator over the pool, for short-lived containers on the hot
+/// path (message payloads, staging buffers). Small backing arrays
+/// recycle through the freelists; oversize ones fall through to
+/// operator new inside pool_alloc.
+template <class T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <class U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept { pool_free(p); }
+
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace xlupc::sim

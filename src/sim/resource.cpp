@@ -22,20 +22,14 @@ void Resource::release() {
     // Hand the unit directly to the first waiter: in_use_ stays constant
     // (the unit remains reserved for the waiter until it resumes).
     ++pending_handoffs_;
-    Waiter w = queue_.front();
+    Waiter w = std::move(queue_.front());
     queue_.pop_front();
     queue_wait_accum_ += sim_->now() - w.enqueued;
-    sim_->post_resume(w.handle);
+    sim_->post(std::move(w.cb));
   } else {
     account();
     --in_use_;
   }
-}
-
-Task<> Resource::use(Duration d) {
-  co_await acquire();
-  co_await sim_->delay(d);
-  release();
 }
 
 Duration Resource::busy_time() const {

@@ -14,6 +14,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
+#include "sim/pool.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
@@ -21,7 +22,12 @@ namespace xlupc::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// The scheduler backend defaults to the pairing heap (or the
+  /// XLUPC_SIM_SCHEDULER override — docs/PERFORMANCE.md); either backend
+  /// produces byte-identical runs.
+  explicit Simulator(
+      SchedulerBackend backend = default_scheduler_backend())
+      : queue_(backend) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
   ~Simulator();
@@ -40,9 +46,15 @@ class Simulator {
   /// Schedule a callback at the current time (runs after the current event).
   void post(EventQueue::Callback fn) { schedule_at(now_, std::move(fn)); }
 
-  /// Resume a suspended coroutine at the current time.
+  /// Resume a suspended coroutine at the current time — the dominant
+  /// event payload, stored as a bare handle (no capture, no allocation).
   void post_resume(std::coroutine_handle<> h) {
-    post([h] { h.resume(); });
+    post(Callback::resume(h));
+  }
+
+  /// Resume a suspended coroutine `d` nanoseconds from now.
+  void schedule_resume_after(Duration d, std::coroutine_handle<> h) {
+    schedule_at(now_ + d, Callback::resume(h));
   }
 
   /// Awaitable that suspends the caller for `d` simulated nanoseconds.
@@ -52,7 +64,7 @@ class Simulator {
       Duration d;
       bool await_ready() const noexcept { return d == 0; }
       void await_suspend(std::coroutine_handle<> h) {
-        sim->schedule_after(d, [h] { h.resume(); });
+        sim->schedule_resume_after(d, h);
       }
       void await_resume() const noexcept {}
     };
@@ -82,9 +94,12 @@ class Simulator {
   MetricsRegistry& metrics() noexcept { return metrics_; }
   const MetricsRegistry& metrics() const noexcept { return metrics_; }
 
+  /// The event queue (scheduler-backend introspection for tests/benches).
+  const EventQueue& queue() const noexcept { return queue_; }
+
  private:
   struct Detached {
-    struct promise_type {
+    struct promise_type : PooledFrame {
       // The driver registers itself with its simulator so frames still
       // suspended when the simulator dies (an aborted run leaves them
       // parked in the queue/synchronizers) can be destroyed instead of

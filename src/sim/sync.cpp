@@ -8,11 +8,17 @@ namespace xlupc::sim {
 void Trigger::fire() {
   if (fired_) return;
   fired_ = true;
-  auto waiters = std::move(waiters_);
-  waiters_.clear();
-  for (auto h : waiters) {
+  // FIFO: the inline first waiter was also the first to suspend.
+  // post_resume only enqueues (never runs user code), so iterating the
+  // members directly is re-entrancy safe.
+  if (first_) {
+    sim_->post_resume(first_);
+    first_ = {};
+  }
+  for (auto h : rest_) {
     sim_->post_resume(h);
   }
+  rest_.clear();
 }
 
 void CountdownLatch::count_down() {
@@ -31,11 +37,13 @@ bool CyclicBarrier::arrive_and_maybe_wait(std::coroutine_handle<> h) {
   // Last arriver: release everyone and reset for the next generation.
   arrived_ = 0;
   ++generation_;
-  auto waiters = std::move(waiters_);
-  waiters_.clear();
-  for (auto w : waiters) {
+  // post_resume only enqueues, so no waiter can re-arrive during the
+  // loop; clearing (not moving) keeps the vector's capacity across
+  // generations, so a steady-state barrier allocates nothing.
+  for (auto w : waiters_) {
     sim_->post_resume(w);
   }
+  waiters_.clear();
   return false;  // last arriver continues immediately
 }
 

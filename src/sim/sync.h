@@ -15,6 +15,10 @@ namespace xlupc::sim {
 
 /// One-shot event: processes await it; `fire()` releases all current and
 /// future waiters. Awaiting an already-fired trigger does not suspend.
+///
+/// The first waiter is kept in an inline slot: almost every Trigger in
+/// the runtime (op-completion waits, fences) has exactly one waiter, so
+/// the common case allocates nothing.
 class Trigger {
  public:
   explicit Trigger(Simulator& sim) : sim_(&sim) {}
@@ -30,7 +34,11 @@ class Trigger {
       Trigger* t;
       bool await_ready() const noexcept { return t->fired_; }
       void await_suspend(std::coroutine_handle<> h) {
-        t->waiters_.push_back(h);
+        if (!t->first_) {
+          t->first_ = h;
+        } else {
+          t->rest_.push_back(h);
+        }
       }
       void await_resume() const noexcept {}
     };
@@ -40,7 +48,8 @@ class Trigger {
  private:
   Simulator* sim_;
   bool fired_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  std::coroutine_handle<> first_{};
+  std::vector<std::coroutine_handle<>> rest_;
 };
 
 /// Single-producer completion carrying a value of type T.

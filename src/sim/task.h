@@ -11,6 +11,8 @@
 #include <optional>
 #include <utility>
 
+#include "sim/pool.h"
+
 namespace xlupc::sim {
 
 template <class T>
@@ -18,7 +20,12 @@ class Task;
 
 namespace detail {
 
-struct PromiseBase {
+// Inheriting PooledFrame routes every Task<> coroutine frame through the
+// sim pool's size-class freelists: each co_await chain (thread body ->
+// runtime -> transport -> resource) allocates and frees several frames
+// per operation, and recycling them is one of the big event-loop wins
+// (docs/PERFORMANCE.md).
+struct PromiseBase : PooledFrame {
   std::coroutine_handle<> continuation{};
 
   struct FinalAwaiter {

@@ -122,7 +122,7 @@ class EchoTarget : public AmTarget {
     return PutServe{base(target) + req.offset, {}, 0, 0, 0};
   }
   void deliver_put_payload(NodeId target, std::uint64_t, std::uint64_t offset,
-                           std::vector<std::byte>&& data) override {
+                           net::Bytes&& data) override {
     std::memcpy(store_[target].data() + offset, data.data(), data.size());
     ++payloads_delivered;
   }

@@ -126,7 +126,7 @@ class CountingTarget : public AmTarget {
     return PutServe{base(target) + req.offset, {}, 0, 0, 0};
   }
   void deliver_put_payload(NodeId target, std::uint64_t, std::uint64_t offset,
-                           std::vector<std::byte>&& data) override {
+                           net::Bytes&& data) override {
     ++payloads_delivered;
     std::memcpy(store_[target].data() + offset, data.data(), data.size());
   }
@@ -298,7 +298,7 @@ TEST(IbProtocol, OneSidedOpsCostZeroTargetCpu) {
   RdmaPutResult put_res;
   rig.sim.spawn([](Rig& r, RdmaGetResult& g, RdmaPutResult& p) -> sim::Task<> {
     g = co_await r.transport->rdma_get({0, 0}, 1, r.target.base(1), 64);
-    std::vector<std::byte> data(256, std::byte{0x2a});
+    net::Bytes data(256, std::byte{0x2a});
     p = co_await r.transport->rdma_put({0, 0}, 1, r.target.base(1) + 1024,
                                        std::move(data), {});
   }(rig, get_res, put_res));

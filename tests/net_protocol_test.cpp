@@ -45,7 +45,7 @@ class Target : public AmTarget {
     return out;
   }
   void deliver_put_payload(NodeId target, std::uint64_t, std::uint64_t offset,
-                           std::vector<std::byte>&& data) override {
+                           Bytes&& data) override {
     std::memcpy(store_[target].data() + offset, data.data(), data.size());
   }
   void serve_control(NodeId, NodeId, const ControlMsg&) override {}
@@ -196,7 +196,7 @@ TEST(Protocol, RdmaNakIsDistinctFromProtocolError) {
   RdmaPutResult put_res;
   rig.sim.spawn([](Rig& r, RdmaGetResult& g, RdmaPutResult& p) -> sim::Task<> {
     g = co_await r.transport->rdma_get({0, 0}, 1, r.target.base(1), 64);
-    std::vector<std::byte> data(64, std::byte{0x2a});
+    Bytes data(64, std::byte{0x2a});
     p = co_await r.transport->rdma_put({0, 0}, 1, r.target.base(1),
                                        std::move(data), {});
   }(rig, get_res, put_res));

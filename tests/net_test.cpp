@@ -142,7 +142,7 @@ class FakeTarget : public AmTarget {
   }
 
   void deliver_put_payload(NodeId target, std::uint64_t, std::uint64_t offset,
-                           std::vector<std::byte>&& data) override {
+                           net::Bytes&& data) override {
     std::memcpy(store_[target].data() + offset, data.data(), data.size());
     ++payloads_delivered;
   }
@@ -265,9 +265,9 @@ TEST(Transport, RdmaGetBypassesTargetCpuAndIsFaster) {
   Fixture f(mare_nostrum_gm());
   const auto am = timed_get(f, 8);
   sim::Time t0 = 0, t1 = 0;
-  std::vector<std::byte> got;
+  net::Bytes got;
   f.target.data(1)[5] = std::byte{0x7f};
-  f.sim.spawn([](Fixture& fx, std::vector<std::byte>& o, sim::Time& a,
+  f.sim.spawn([](Fixture& fx, net::Bytes& o, sim::Time& a,
                  sim::Time& b) -> sim::Task<> {
     a = fx.sim.now();
     auto r = co_await fx.transport->rdma_get({0, 0}, 1,
@@ -341,7 +341,7 @@ TEST(Transport, RdmaPutWritesMemoryAndSignalsDone) {
   bool done = false;
   bool ok = false;
   f.sim.spawn([](Fixture& fx, bool& d, bool& o) -> sim::Task<> {
-    std::vector<std::byte> data(16, std::byte{0x77});
+    net::Bytes data(16, std::byte{0x77});
     o = (co_await fx.transport->rdma_put({0, 0}, 1, fx.target.base(1) + 8,
                                          std::move(data), [&d] { d = true; }))
             .ok();
@@ -359,7 +359,7 @@ TEST(Transport, RdmaPutNakWhenUnpinned) {
   bool done = false;
   bool ok = true;
   f.sim.spawn([](Fixture& fx, bool& d, bool& o) -> sim::Task<> {
-    std::vector<std::byte> data(16, std::byte{0x77});
+    net::Bytes data(16, std::byte{0x77});
     const auto r = co_await fx.transport->rdma_put({0, 0}, 1, fx.target.base(1),
                                                    std::move(data),
                                                    [&d] { d = true; });

@@ -1,0 +1,242 @@
+// Scheduler-backend and allocator tests for the fast simulator core
+// (docs/PERFORMANCE.md): equal-time FIFO ordering on both event-queue
+// backends, byte-identical whole runs across backends on every machine
+// model, arena/pool reuse under churn, and the small-buffer-optimized
+// callback types.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchsupport/report.h"
+#include "core/runtime.h"
+#include "net/machine_registry.h"
+#include "sim/callback.h"
+#include "sim/event_queue.h"
+#include "sim/pool.h"
+#include "sim/simulator.h"
+
+namespace xlupc {
+namespace {
+
+using sim::Callback;
+using sim::EventQueue;
+using sim::SchedulerBackend;
+using sim::SmallFn;
+
+// ------------------------------------------------------------------
+// Event-queue ordering, per backend
+// ------------------------------------------------------------------
+
+TEST(SchedulerBackends, EqualTimeEventsRunFifoOnBothBackends) {
+  for (SchedulerBackend b :
+       {SchedulerBackend::kPairing, SchedulerBackend::kHeap}) {
+    EventQueue q(b);
+    std::vector<int> order;
+    // Interleave two timestamps so FIFO must hold per time, not
+    // globally: expected pop order is all of t=5 (0..15), then t=9.
+    for (int i = 0; i < 16; ++i) {
+      q.schedule(5, [&order, i] { order.push_back(i); });
+      q.schedule(9, [&order, i] { order.push_back(100 + i); });
+    }
+    while (!q.empty()) q.pop_and_run();
+    ASSERT_EQ(order.size(), 32u);
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(order[i], i) << "backend " << static_cast<int>(b);
+      EXPECT_EQ(order[16 + i], 100 + i) << "backend " << static_cast<int>(b);
+    }
+  }
+}
+
+TEST(SchedulerBackends, BackendsPopIdenticalSequences) {
+  // A pseudo-random schedule, including re-scheduling from inside
+  // callbacks, must pop identically on both backends: the (time, seq)
+  // key is a strict total order, so the pop sequence is unique.
+  auto run = [](SchedulerBackend b) {
+    EventQueue q(b);
+    std::vector<std::pair<sim::Time, int>> seen;
+    std::uint64_t x = 88172645463325252ull;
+    auto rnd = [&x] {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      return x;
+    };
+    for (int i = 0; i < 200; ++i) {
+      const sim::Time t = rnd() % 50;
+      q.schedule(t, [&seen, &q, &rnd, t, i] {
+        seen.emplace_back(t, i);
+        if (seen.size() % 3 == 0) {
+          q.schedule(t + 1 + seen.size() % 7, [&seen, t] {
+            seen.emplace_back(t + 1000, -1);
+          });
+        }
+      });
+    }
+    while (!q.empty()) q.pop_and_run();
+    return seen;
+  };
+  EXPECT_EQ(run(SchedulerBackend::kPairing), run(SchedulerBackend::kHeap));
+}
+
+TEST(SchedulerBackends, EnvSelectsBackend) {
+  ::setenv("XLUPC_SIM_SCHEDULER", "heap", 1);
+  EXPECT_EQ(sim::default_scheduler_backend(), SchedulerBackend::kHeap);
+  ::setenv("XLUPC_SIM_SCHEDULER", "pairing", 1);
+  EXPECT_EQ(sim::default_scheduler_backend(), SchedulerBackend::kPairing);
+  ::setenv("XLUPC_SIM_SCHEDULER", "nonsense", 1);
+  EXPECT_EQ(sim::default_scheduler_backend(), SchedulerBackend::kPairing);
+  ::unsetenv("XLUPC_SIM_SCHEDULER");
+}
+
+// ------------------------------------------------------------------
+// Cross-backend byte-identical whole runs, every machine model
+// ------------------------------------------------------------------
+
+std::string run_fingerprint(const char* machine) {
+  core::RuntimeConfig cfg;
+  cfg.platform = net::make_machine(machine);
+  cfg.nodes = 4;
+  cfg.threads_per_node = 2;
+  core::Runtime rt(std::move(cfg));
+  rt.run([](core::UpcThread& th) -> sim::Task<void> {
+    core::ArrayDesc a = co_await th.all_alloc(256, sizeof(std::uint64_t));
+    co_await th.barrier();
+    std::uint64_t pos = (th.id() * 13) % 256;
+    for (int i = 0; i < 24; ++i) {
+      const std::uint64_t v = co_await th.read<std::uint64_t>(a, pos);
+      co_await th.write<std::uint64_t>(a, (pos + 7) % 256, v + 1);
+      pos = (pos + 31) % 256;
+      co_await th.compute(50);
+    }
+    co_await th.fence();
+    co_await th.barrier();
+  });
+  // The full observability snapshot serialized: any divergence in
+  // timing, counters, resource accounting or event count shows up here.
+  return bench::to_json(rt.metrics()).dump_string() + "|" +
+         std::to_string(rt.simulator().events_executed()) + "|" +
+         std::to_string(rt.elapsed());
+}
+
+TEST(SchedulerBackends, WholeRunsIdenticalAcrossBackends) {
+  for (const char* machine : {"gm", "lapi", "ib"}) {
+    ::setenv("XLUPC_SIM_SCHEDULER", "pairing", 1);
+    const std::string pairing = run_fingerprint(machine);
+    ::setenv("XLUPC_SIM_SCHEDULER", "heap", 1);
+    const std::string heap = run_fingerprint(machine);
+    ::unsetenv("XLUPC_SIM_SCHEDULER");
+    EXPECT_EQ(pairing, heap) << "machine " << machine;
+  }
+}
+
+// ------------------------------------------------------------------
+// Arena / pool reuse under churn
+// ------------------------------------------------------------------
+
+TEST(SchedulerBackends, PairingArenaStopsGrowingUnderChurn) {
+  EventQueue q(SchedulerBackend::kPairing);
+  // Prime the arena with one full round, then churn: capacity must not
+  // grow once the high-water mark of pending events is reached.
+  auto round = [&q](sim::Time base) {
+    for (int i = 0; i < 64; ++i) q.schedule(base + i % 8, [] {});
+    while (!q.empty()) q.pop_and_run();
+  };
+  round(0);
+  const std::size_t cap = q.arena_capacity();
+  ASSERT_GT(cap, 0u);
+  for (int r = 1; r < 50; ++r) round(r * 100);
+  EXPECT_EQ(q.arena_capacity(), cap);
+  EXPECT_EQ(q.arena_free(), cap);  // drained queue: every node recycled
+}
+
+TEST(PoolAllocator, ReusesFreedBlocksWithoutNewChunks) {
+  // Prime the size class, then churn it: every allocation must be served
+  // from the freelist (no new chunks carved).
+  sim::pool_free(sim::pool_alloc(128));
+  const sim::PoolStats before = sim::pool_stats();
+  for (int i = 0; i < 1000; ++i) {
+    void* p = sim::pool_alloc(128);
+    sim::pool_free(p);
+  }
+  const sim::PoolStats after = sim::pool_stats();
+  EXPECT_EQ(after.chunks, before.chunks);
+  EXPECT_EQ(after.chunk_bytes, before.chunk_bytes);
+  EXPECT_EQ(after.reuses, before.reuses + 1000);
+}
+
+TEST(PoolAllocator, TaggedHeadersSurviveModeSwitches) {
+  // Blocks are tagged with their origin, so frees dispatch correctly
+  // even across pool_set_bypass flips (the simspeed --mode switch).
+  ASSERT_FALSE(sim::pool_bypass());
+  void* pooled = sim::pool_alloc(64);
+  sim::pool_set_bypass(true);
+  void* heaped = sim::pool_alloc(64);
+  sim::pool_free(pooled);  // pooled block freed while bypass is on
+  sim::pool_set_bypass(false);
+  sim::pool_free(heaped);  // malloc'd block freed while bypass is off
+  const sim::PoolStats st = sim::pool_stats();
+  EXPECT_GE(st.frees, 2u);
+}
+
+TEST(PoolAllocator, OversizeBlocksFallThrough) {
+  const sim::PoolStats before = sim::pool_stats();
+  void* big = sim::pool_alloc(1 << 20);
+  sim::pool_free(big);
+  EXPECT_EQ(sim::pool_stats().oversize, before.oversize + 1);
+}
+
+// ------------------------------------------------------------------
+// Small-buffer-optimized callable types
+// ------------------------------------------------------------------
+
+TEST(CallbackType, InlineCaptureSurvivesMove) {
+  std::array<char, 32> payload{};
+  payload[0] = 7;
+  int hits = 0;
+  Callback a([payload, &hits] { hits += payload[0]; });
+  Callback b(std::move(a));  // relocate within the inline buffer
+  b();
+  EXPECT_EQ(hits, 7);
+}
+
+TEST(CallbackType, SpilledCaptureSurvivesMove) {
+  std::array<char, 200> payload{};  // larger than the inline buffer
+  payload[0] = 3;
+  int hits = 0;
+  Callback a([payload, &hits] { hits += payload[0]; });
+  Callback b(std::move(a));
+  Callback c(std::move(b));
+  c();
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(SmallFnType, InvokesWithArgumentsAndResult) {
+  SmallFn<int(int, int)> f([](int a, int b) { return a * 10 + b; });
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(3, 4), 34);
+  SmallFn<int(int, int)> g(std::move(f));
+  EXPECT_EQ(g(1, 2), 12);
+}
+
+TEST(SmallFnType, SpilledStateSurvivesMoveChain) {
+  std::array<std::uint64_t, 16> big{};
+  big[15] = 42;
+  SmallFn<std::uint64_t()> f([big] { return big[15]; });
+  SmallFn<std::uint64_t()> g(std::move(f));
+  SmallFn<std::uint64_t()> h(std::move(g));
+  EXPECT_EQ(h(), 42u);
+}
+
+TEST(SmallFnType, DefaultConstructedIsEmpty) {
+  SmallFn<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  f = SmallFn<void()>([] {});
+  EXPECT_TRUE(static_cast<bool>(f));
+}
+
+}  // namespace
+}  // namespace xlupc

@@ -19,7 +19,8 @@ cd "$repo_root"
 
 docs="README.md DESIGN.md EXPERIMENTS.md docs/API.md docs/CALIBRATION.md \
       docs/SIMULATOR.md docs/OBSERVABILITY.md docs/FAULTS.md \
-      docs/COMM_ENGINE.md docs/COALESCING.md docs/MACHINES.md"
+      docs/COMM_ENGINE.md docs/COALESCING.md docs/MACHINES.md \
+      docs/PERFORMANCE.md"
 search_dirs="src bench tests examples"
 
 status=0
