@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/runtime.h"
@@ -48,6 +49,16 @@ Task<void> AccessPath::get_span(UpcThread& th, ArrayDesc a, Layout::Loc loc,
       trace(TracePath::kShm);
     }
     co_return;
+  }
+
+  // Circuit breaker: once the failure detector has declared the owner
+  // dead, fail fast with the typed error instead of hammering the dead
+  // peer through a full retransmission budget per access.
+  if (rt_.peer_failed(owner)) {
+    ++rt_.counters_.breaker_fast_fails;
+    throw net::PeerDeadError(owner, "get: target node " +
+                                        std::to_string(owner) +
+                                        " was declared dead");
   }
 
   const net::Initiator from{th.node(), th.core()};
@@ -138,6 +149,14 @@ Task<void> AccessPath::put_span(UpcThread& th, ArrayDesc a, Layout::Loc loc,
     co_return;
   }
 
+  // Circuit breaker (same contract as get_span).
+  if (rt_.peer_failed(owner)) {
+    ++rt_.counters_.breaker_fast_fails;
+    throw net::PeerDeadError(owner, "put: target node " +
+                                        std::to_string(owner) +
+                                        " was declared dead");
+  }
+
   const net::Initiator from{th.node(), th.core()};
   const bool cache_on = rt_.put_cache_enabled();
   Runtime* rt = &rt_;
@@ -158,9 +177,18 @@ Task<void> AccessPath::put_span(UpcThread& th, ArrayDesc a, Layout::Loc loc,
       }
       rt_.note_put_issued(th);
       const ThreadId tid = th.id();
-      const auto res = co_await rt_.transport_->rdma_put(
-          from, owner, raddr, {src.begin(), src.end()},
-          [rt, tid] { rt->note_put_completed(tid); });
+      net::RdmaPutResult res;
+      try {
+        res = co_await rt_.transport_->rdma_put(
+            from, owner, raddr, {src.begin(), src.end()},
+            [rt, tid] { rt->note_put_completed(tid); });
+      } catch (...) {
+        // The awaited half (descriptor leg / NAK reply) threw after the
+        // PUT was counted outstanding: release it, or fence() waits for
+        // a completion that can never arrive.
+        rt_.note_put_completed(th.id());
+        throw;
+      }
       if (res.ok()) {
         ++rt_.counters_.rdma_puts;
         trace(p.rdma_offload ? TracePath::kRdmaOffload : TracePath::kRdma);
@@ -184,14 +212,22 @@ Task<void> AccessPath::put_span(UpcThread& th, ArrayDesc a, Layout::Loc loc,
   const ThreadId tid = th.id();
   const CacheKey key = rt_.make_key(a, owner, node_off);
   const NodeId my_node = th.node();
-  co_await rt_.transport_->put(
-      from, owner, std::move(req),
-      [rt, tid, key, my_node, cache_on](const net::PutAck& ack) {
-        if (ack.base && cache_on) {
-          rt->node(my_node).cache->insert(key, *ack.base);
-        }
-        rt->note_put_completed(tid);
-      });
+  try {
+    co_await rt_.transport_->put(
+        from, owner, std::move(req),
+        [rt, tid, key, my_node, cache_on](const net::PutAck& ack) {
+          if (ack.base && cache_on) {
+            rt->node(my_node).cache->insert(key, *ack.base);
+          }
+          rt->note_put_completed(tid);
+        });
+  } catch (...) {
+    // Same leak guard: an awaited leg (rendezvous RTS/CTS, or the QP
+    // post on IB) can throw after note_put_issued; the detached halves
+    // that normally fire on_ack never spawn then.
+    rt_.note_put_completed(th.id());
+    throw;
+  }
   ++rt_.counters_.am_puts;
   trace(TracePath::kAm);
 }
@@ -379,6 +415,28 @@ Task<void> CompletionEngine::wait_all() {
     if (!slots_[i].active) continue;
     co_await wait(OpHandle{i, slots_[i].gen});
   }
+}
+
+Task<OpStatus> CompletionEngine::wait_status(OpHandle h) {
+  try {
+    co_await wait(h);
+  } catch (const net::PeerDeadError&) {
+    co_return OpStatus::kPeerFailed;
+  } catch (const net::TransportTimeout&) {
+    co_return OpStatus::kTimeout;
+  }
+  co_return OpStatus::kOk;
+}
+
+Task<OpStatus> CompletionEngine::wait_all_status() {
+  coalescer_.flush_all(FlushReason::kFence);
+  OpStatus worst = OpStatus::kOk;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].active) continue;
+    const OpStatus st = co_await wait_status(OpHandle{i, slots_[i].gen});
+    worst = std::max(worst, st);
+  }
+  co_return worst;
 }
 
 void CompletionEngine::note_put_completed() {

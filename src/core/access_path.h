@@ -64,6 +64,18 @@ struct CommOp {
   std::size_t bytes = 0;
 };
 
+/// Typed outcome of a completed operation — the error-propagation
+/// contract of the blocking surface under whole-fabric faults
+/// (docs/FAULTS.md). wait()/fence() rethrow transport errors; the
+/// *_status variants absorb the two recoverable ones into this enum so
+/// applications can route around a dead peer without try/catch at every
+/// access. Any other exception still propagates.
+enum class OpStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout,     ///< retransmission budget exhausted (peer may be alive)
+  kPeerFailed,  ///< a leg's endpoint crash-stopped (net::PeerDeadError)
+};
+
 /// Ticket for an issued operation. Handles are single-use: wait()
 /// retires the slot, after which the handle is spent (waiting again is a
 /// no-op). The generation counter guards against stale handles whose
@@ -162,6 +174,14 @@ class CompletionEngine {
   /// wait() every live handle of this thread, oldest slot first. Flushes
   /// every staging buffer first (flush-on-fence semantics).
   sim::Task<void> wait_all();
+
+  /// wait(), but with the typed-status contract: PeerDeadError maps to
+  /// OpStatus::kPeerFailed and TransportTimeout to kTimeout instead of
+  /// rethrowing; other exceptions still propagate.
+  sim::Task<OpStatus> wait_status(OpHandle h);
+  /// wait_all() with the typed-status contract; returns the worst status
+  /// across the retired handles (kPeerFailed > kTimeout > kOk).
+  sim::Task<OpStatus> wait_all_status();
 
   // --- small-message coalescing surface (docs/COALESCING.md) ---
   /// Ship the staging buffer bound for `dest` now (explicit flush).

@@ -43,6 +43,18 @@ void AddressCache::invalidate_handle(std::uint64_t handle) {
   }
 }
 
+void AddressCache::invalidate_node(NodeId node) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.node == node) {
+      lru_.erase(it->second.lru_pos);
+      it = map_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
 void AddressCache::invalidate(const CacheKey& key) {
   auto it = map_.find(key);
   if (it == map_.end()) return;

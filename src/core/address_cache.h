@@ -78,6 +78,11 @@ class AddressCache {
   /// Eagerly drop all entries of a shared object (it was deallocated).
   void invalidate_handle(std::uint64_t handle);
 
+  /// Drop all entries pointing at `node` (it was declared dead by the
+  /// failure detector: its base addresses are meaningless now and an
+  /// RDMA tier hit against them must never happen again).
+  void invalidate_node(NodeId node);
+
   /// Drop one entry (e.g. an RDMA NAK revealed the target unpinned it).
   void invalidate(const CacheKey& key);
 

@@ -99,6 +99,10 @@ struct OpCounters {
   /// the target served the access but could not piggyback a base
   /// address, so the initiator's cache was not populated.
   std::uint64_t pin_failures = 0;
+  /// Circuit-breaker trips (docs/FAULTS.md): ops refused up front with
+  /// OpStatus::kPeerFailed because the failure detector had already
+  /// declared the target dead. Nonzero only under fabric fault plans.
+  std::uint64_t breaker_fast_fails = 0;
 };
 
 }  // namespace xlupc::core

@@ -1,0 +1,85 @@
+#include "core/failure_detector.h"
+
+#include "core/runtime.h"
+
+namespace xlupc::core {
+
+FailureDetector::FailureDetector(Runtime& rt)
+    : rt_(rt), dead_(rt.nodes(), 0) {}
+
+sim::Task<void> FailureDetector::run_loop() {
+  const sim::Duration interval =
+      rt_.machine().faults().params().heartbeat_interval;
+  // Exit once the application is done: an eternal periodic coroutine
+  // would keep the event queue nonempty and the simulation would never
+  // terminate. One extra tick after the last thread finishes is fine.
+  while (rt_.live_threads() > 0) {
+    co_await rt_.simulator().delay(interval);
+    tick(rt_.simulator().now());
+  }
+}
+
+bool FailureDetector::heard_from(NodeId observer, NodeId peer,
+                                 sim::Time now) const {
+  const sim::FaultPlan& plan = rt_.machine().faults();
+  const sim::Duration interval = plan.params().heartbeat_interval;
+  const std::uint32_t misses = plan.params().lease_misses;
+  const sim::Time crash = plan.crash_time(peer);
+  for (std::uint32_t j = 0; j < misses; ++j) {
+    const sim::Duration back = interval * j;
+    if (back > now) break;  // before the run started
+    const sim::Time s = now - back;
+    if (s >= crash) continue;                 // peer was already dead
+    if (plan.link_down(peer, observer, s)) continue;  // heartbeat lost
+    return true;
+  }
+  return false;
+}
+
+void FailureDetector::tick(sim::Time now) {
+  const sim::FaultPlan& plan = rt_.machine().faults();
+  const std::uint32_t n = rt_.nodes();
+
+  // Surface link-down windows to the transport as they open (connection
+  // recovery is the transport's business; rerouting happens per leg in
+  // the protocol engine regardless).
+  const auto& windows = plan.params().link_downs;
+  if (link_signaled_.size() < windows.size()) {
+    link_signaled_.resize(windows.size(), 0);
+  }
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (link_signaled_[i] == 0 && now >= windows[i].start) {
+      link_signaled_[i] = 1;
+      rt_.transport().on_link_down(windows[i].a, windows[i].b);
+    }
+  }
+
+  // Count this round's heartbeats: every node not yet crash-stopped
+  // sends one to each peer (modelled, not simulated — no wire traffic).
+  for (NodeId p = 0; p < n; ++p) {
+    if (dead_[p] == 0 && !plan.node_crashed(p, now)) ++stats_.heartbeats;
+  }
+
+  // Lease evaluation + majority-quorum declaration.
+  for (NodeId p = 0; p < n; ++p) {
+    if (dead_[p] != 0) continue;
+    std::uint32_t observers = 0;
+    std::uint32_t suspects = 0;
+    for (NodeId o = 0; o < n; ++o) {
+      if (o == p || dead_[o] != 0 || plan.node_crashed(o, now)) continue;
+      ++observers;
+      if (!heard_from(o, p, now)) {
+        ++suspects;
+        ++stats_.suspicions;
+      }
+    }
+    if (observers > 0 && suspects * 2 > observers) {
+      dead_[p] = 1;
+      ++stats_.deaths;
+      ++stats_.epoch;
+      rt_.on_peer_dead(p);
+    }
+  }
+}
+
+}  // namespace xlupc::core

@@ -139,7 +139,8 @@ RunReport Runtime::metrics() {
   // and the registry cannot drift (metrics_test asserts equality).
   const net::TransportStats& ts = transport_->stats();
   ts.fold_into(reg, machine_.faults().enabled(), cfg_.coalesce.enabled(),
-               cfg_.platform.kind == net::TransportKind::kIb);
+               cfg_.platform.kind == net::TransportKind::kIb,
+               machine_.faults().fabric_enabled());
   std::uint64_t rc_hits = 0, rc_misses = 0, rc_evictions = 0;
   std::uint64_t rc_resident = 0;
   for (NodeId n = 0; n < cfg_.nodes; ++n) {
@@ -162,6 +163,19 @@ RunReport Runtime::metrics() {
     reg.set("fault.pin_failures", counters_.pin_failures);
     reg.set("reliability.rdma_nak_fallbacks", counters_.rdma_naks);
     reg.set("reliability.forced_evictions", cap_evictions);
+  }
+
+  // --- failure detector + circuit breaker (fabric fault plans only) ---
+  // Gated on fabric_enabled() so message-fault-only plans (and of course
+  // the null plan) keep their pre-fabric reports byte-identical.
+  if (machine_.faults().fabric_enabled()) {
+    DetectorStats ds;
+    if (detector_ != nullptr) ds = detector_->stats();
+    reg.set("fault.detector.heartbeats", ds.heartbeats);
+    reg.set("fault.detector.suspicions", ds.suspicions);
+    reg.set("fault.detector.deaths", ds.deaths);
+    reg.set("fault.detector.epoch", ds.epoch);
+    reg.set("fault.breaker.fast_fails", counters_.breaker_fast_fails);
   }
 
   // --- simulation engine ---
@@ -223,6 +237,7 @@ RunReport Runtime::metrics() {
 void Runtime::reset_metrics() {
   counters_ = OpCounters{};
   transport_->reset_stats();
+  if (detector_) detector_->reset_stats();
   for (auto& th : threads_) th->completion_.reset_stats();
   for (NodeId n = 0; n < cfg_.nodes; ++n) {
     node(n).cache->reset_stats();

@@ -89,7 +89,8 @@ Runtime::~Runtime() = default;
 
 namespace {
 Task<void> thread_main(Runtime::ThreadBody body, UpcThread* th,
-                       sim::CountdownLatch* latch) {
+                       sim::CountdownLatch* latch,
+                       std::uint32_t* live_threads) {
   co_await body(*th);
   // End-of-run safety for coalescing: ops still parked in staging
   // buffers are shipped now, so an unwaited nonblocking op is applied by
@@ -97,14 +98,22 @@ Task<void> thread_main(Runtime::ThreadBody body, UpcThread* th,
   // have been (sim_.run() drains the spawned batches). No-op by
   // construction when coalescing is off.
   th->flush_all();
+  --*live_threads;  // lets the failure detector's tick loop terminate
   latch->count_down();
 }
 }  // namespace
 
 void Runtime::run(ThreadBody body) {
   sim::CountdownLatch latch(sim_, threads());
+  live_threads_ = threads();
   for (auto& th : threads_) {
-    sim_.spawn(thread_main(body, th.get(), &latch));
+    sim_.spawn(thread_main(body, th.get(), &latch, &live_threads_));
+  }
+  // The failure detector runs only under fabric fault plans, so every
+  // other configuration executes the exact event sequence it always did.
+  if (machine_.faults().fabric_enabled()) {
+    if (!detector_) detector_ = std::make_unique<FailureDetector>(*this);
+    sim_.spawn(detector_->run_loop());
   }
   sim_.run();
   if (latch.remaining() != 0) {
@@ -112,6 +121,18 @@ void Runtime::run(ThreadBody body) {
         "Runtime::run: deadlock — " + std::to_string(latch.remaining()) +
         " UPC thread(s) blocked with no pending events");
   }
+}
+
+void Runtime::on_peer_dead(NodeId corpse) {
+  // Connection layer: fail in-flight legs fast, error-fence IB QPs.
+  transport_->peer_dead(corpse);
+  // Address caches: every node drops entries pointing at the corpse (an
+  // RDMA-tier hit against a dead node's base address must never happen).
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    node(n).cache->invalidate_node(corpse);
+  }
+  // The corpse's pin-down state died with it.
+  transport_->reg_cache_mut(corpse).invalidate_all();
 }
 
 Duration Runtime::barrier_cost() const {
@@ -745,6 +766,23 @@ OpHandle UpcThread::memput_nb(const ArrayDesc& a, std::uint64_t elem_start,
 Task<void> UpcThread::wait(OpHandle h) { return completion_.wait(h); }
 
 Task<void> UpcThread::wait_all() { return completion_.wait_all(); }
+
+Task<OpStatus> UpcThread::wait_status(OpHandle h) {
+  return completion_.wait_status(h);
+}
+
+Task<OpStatus> UpcThread::fence_status() {
+  const OpStatus st = co_await completion_.wait_all_status();
+  // PUT remote completions always arrive — legs lost to a dead peer
+  // complete locally in the detached protocol halves — so the drain
+  // cannot hang even when the status above is not kOk.
+  co_await completion_.drain_puts();
+  co_return st;
+}
+
+bool UpcThread::crashed() const {
+  return rt_->machine_.faults().node_crashed(node_, rt_->sim_.now());
+}
 
 Task<void> UpcThread::memcpy_shared(const ArrayDesc& dst,
                                     std::uint64_t dst_elem,

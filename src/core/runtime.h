@@ -25,6 +25,7 @@
 #include "core/access_path.h"
 #include "core/address_cache.h"
 #include "core/api.h"
+#include "core/failure_detector.h"
 #include "core/run_report.h"
 #include "core/trace.h"
 #include "mem/address_space.h"
@@ -121,6 +122,17 @@ class UpcThread {
   sim::Task<void> wait(OpHandle h);
   /// Retire every outstanding handle of this thread.
   sim::Task<void> wait_all();
+  /// wait() with the typed-status contract (docs/FAULTS.md): errors from
+  /// a dead peer come back as OpStatus::kPeerFailed, an exhausted
+  /// retransmission budget as kTimeout, instead of as exceptions.
+  sim::Task<OpStatus> wait_status(OpHandle h);
+  /// fence() with the typed-status contract: retires every handle and
+  /// drains PUT remote completions, returning the worst status seen.
+  sim::Task<OpStatus> fence_status();
+  /// True once this thread's node has crash-stopped under the fault
+  /// plan. Chaos workloads poll this and retire the thread; a crashed
+  /// thread must not issue further operations or enter barriers.
+  bool crashed() const;
   /// Async ops currently in flight (issued, not yet done).
   std::uint64_t outstanding() const noexcept {
     return completion_.outstanding();
@@ -236,6 +248,23 @@ class Runtime final : public net::AmTarget {
   Tracer& tracer() noexcept { return tracer_; }
   const Tracer& tracer() const noexcept { return tracer_; }
 
+  // --- failure detection and recovery (docs/FAULTS.md) ---
+  /// UPC threads whose body has not yet finished in the current run().
+  /// The failure detector's tick loop exits when this reaches zero.
+  std::uint32_t live_threads() const noexcept { return live_threads_; }
+  /// True when the failure detector has declared `node` dead. Always
+  /// false without a fabric fault plan (the detector never runs).
+  bool peer_failed(NodeId node) const noexcept {
+    return detector_ != nullptr && detector_->declared_dead(node);
+  }
+  /// The detector, or nullptr when the plan schedules no fabric faults.
+  const FailureDetector* detector() const noexcept { return detector_.get(); }
+  /// Recovery chain, invoked by the detector once per declared death:
+  /// the transport error-fences the peer's connections and fails its
+  /// in-flight legs fast; every node's address cache drops entries
+  /// pointing at the corpse; the corpse's registration cache is cleared.
+  void on_peer_dead(NodeId node);
+
   /// Snapshot every layer's statistics as a RunReport: the MetricsRegistry
   /// counters/gauges (docs/OBSERVABILITY.md taxonomy), per-resource
   /// utilization, and the trace summary when tracing is on. Also folds
@@ -344,6 +373,12 @@ class Runtime final : public net::AmTarget {
   Tracer tracer_;
   sim::Time metrics_epoch_ = 0;
   std::uint64_t events_epoch_ = 0;
+
+  // Whole-fabric failure handling: constructed only when the fault plan
+  // schedules link-down windows or crashes, so fault-free and
+  // message-fault-only runs carry zero detector state or events.
+  std::unique_ptr<FailureDetector> detector_;
+  std::uint32_t live_threads_ = 0;
 };
 
 // --- templated helpers -------------------------------------------------

@@ -40,6 +40,15 @@ class RegistrationCache {
   /// Drop any regions overlapping [addr, addr+len) (object freed).
   void invalidate(Addr addr, std::size_t len);
 
+  /// Drop every resident region. Used when the node's registrations are
+  /// no longer meaningful — the node crash-stopped and its pin-down state
+  /// died with it (core::Runtime::on_peer_dead).
+  void invalidate_all() {
+    regions_.clear();
+    lru_.clear();
+    resident_ = 0;
+  }
+
   std::size_t resident_bytes() const noexcept { return resident_; }
   std::size_t region_count() const noexcept { return regions_.size(); }
   std::uint64_t hits() const noexcept { return hits_; }

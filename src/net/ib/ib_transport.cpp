@@ -1,6 +1,9 @@
 #include "net/ib/ib_transport.h"
 
+#include <string>
 #include <utility>
+
+#include "net/topology.h"
 
 namespace xlupc::net {
 
@@ -30,8 +33,28 @@ const ib::QueuePair* IbTransport::queue_pair(NodeId src, NodeId dst) const {
 }
 
 Task<void> IbTransport::qp_post(NodeId src, NodeId dst) {
-  ++stats_.qp_posts;
   ib::QueuePair& q = qp(src, dst);
+  if (q.in_error()) {
+    // The connection was error-fenced by a failure event. Posting against
+    // a peer the detector still considers dead is pointless — surface the
+    // typed error instead of re-establishing a connection that can only
+    // fail again.
+    if (protocol().peer_declared_dead(dst)) {
+      throw PeerDeadError(dst, "ib: connection " + std::to_string(src) +
+                                   "->" + std::to_string(dst) +
+                                   " is error-fenced and the peer is dead");
+    }
+    // Tear down and re-establish: one connection-setup round trip, then
+    // the QP comes back RTS as a fresh incarnation. Resyncing both
+    // directions of the link rebases the sequence stamps onto what the
+    // receiver has applied, so replayed traffic stays apply-once.
+    co_await machine_.simulator().delay(2 * machine_.latency(src, dst));
+    q.reactivate();
+    ++stats_.qp_reconnects;
+    protocol_mut().resync_link(src, dst);
+    protocol_mut().resync_link(dst, src);
+  }
+  ++stats_.qp_posts;
   if (q.would_stall()) ++stats_.sq_stalls;
   co_await q.post_send();
 }
@@ -39,6 +62,28 @@ Task<void> IbTransport::qp_post(NodeId src, NodeId dst) {
 void IbTransport::qp_complete(NodeId src, NodeId dst) {
   qp(src, dst).complete();
   cqs_[src].completed();
+}
+
+void IbTransport::on_peer_dead(NodeId node) {
+  for (auto& [key, q] : qps_) {
+    if ((key.first == node || key.second == node) && !q.in_error()) {
+      q.to_error();
+      ++stats_.qp_errors;
+    }
+  }
+}
+
+void IbTransport::on_link_down(NodeId a, NodeId b) {
+  // With a redundant path the protocol engine reroutes around the dark
+  // link and the connection stays up; only a path-less pair fences.
+  if (redundant_paths(machine_.params().topology, a, b) > 0) return;
+  for (const auto key : {std::make_pair(a, b), std::make_pair(b, a)}) {
+    auto it = qps_.find(key);
+    if (it != qps_.end() && !it->second.in_error()) {
+      it->second.to_error();
+      ++stats_.qp_errors;
+    }
+  }
 }
 
 // ---------------------------------------------------------------- GET ---

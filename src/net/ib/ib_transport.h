@@ -47,6 +47,16 @@ class IbTransport final : public Transport {
   /// operation has used that connection yet.
   const ib::QueuePair* queue_pair(NodeId src, NodeId dst) const;
 
+  /// Failure-detector notification: every RC connection touching `node`
+  /// transitions to the error state (outstanding WQEs flush, stalled
+  /// posters wake). Connections are lazily re-established by the next
+  /// post — see qp_post — unless the peer stays declared dead.
+  void on_peer_dead(NodeId node) override;
+  /// Link-down notification: fences the pair's connections only when the
+  /// topology offers no redundant path (the fat tree usually does; the
+  /// protocol engine then reroutes and the QPs stay RTS).
+  void on_link_down(NodeId a, NodeId b) override;
+
  protected:
   /// Two-sided dispatch runs on the communication processor (the verbs
   /// progress engine), never on the target's application cores.

@@ -36,16 +36,52 @@ class CompletionQueue {
 /// One reliable-connection queue pair (one per ordered initiator->target
 /// node pair). Only the send side is modelled: receives are preposted in
 /// bulk by the runtime and never run dry in this simulator.
+///
+/// Connection state follows the verbs RC state machine in miniature:
+/// a QP is RTS (ready-to-send) until the transport error-fences it on
+/// peer death or an unrecoverable link event (to_error: outstanding WQEs
+/// flush, stalled posters wake), and stays unusable until the recovery
+/// path tears it down and re-establishes it (reactivate — a fresh
+/// incarnation of the same initiator->target connection).
 class QueuePair {
  public:
+  enum class State : std::uint8_t { kRts, kError };
+
   /// `sq_depth` = send-queue WQE slots; 0 = unbounded.
   QueuePair(sim::Simulator& sim, std::uint32_t sq_depth)
       : sim_(&sim), depth_(sq_depth) {}
   QueuePair(QueuePair&&) = default;
 
+  State state() const noexcept { return state_; }
+  bool in_error() const noexcept { return state_ == State::kError; }
+  /// How many times this connection has been re-established.
+  std::uint32_t incarnation() const noexcept { return incarnation_; }
+
+  /// Error-fence the QP: flush every outstanding WQE (their completions
+  /// will never arrive from a dead peer) and wake stalled posters so no
+  /// coroutine waits forever on a send-queue slot that frees only via a
+  /// completion.
+  void to_error() {
+    state_ = State::kError;
+    outstanding_ = 0;
+    if (stall_) {
+      const std::shared_ptr<sim::Trigger> t = std::move(stall_);
+      stall_.reset();
+      t->fire();
+    }
+  }
+
+  /// Re-establish the connection after a teardown: back to RTS with an
+  /// empty send queue, as a new incarnation.
+  void reactivate() {
+    state_ = State::kRts;
+    outstanding_ = 0;
+    ++incarnation_;
+  }
+
   /// True when post_send() would have to wait for a free slot.
   bool would_stall() const noexcept {
-    return depth_ != 0 && outstanding_ >= depth_;
+    return state_ == State::kRts && depth_ != 0 && outstanding_ >= depth_;
   }
 
   /// Occupy one send-queue slot, waiting (FIFO via the trigger's wake
@@ -81,6 +117,8 @@ class QueuePair {
   std::uint32_t depth_;
   std::uint32_t outstanding_ = 0;
   std::uint32_t hwm_ = 0;
+  State state_ = State::kRts;
+  std::uint32_t incarnation_ = 0;
   std::shared_ptr<sim::Trigger> stall_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "net/topology.h"
 #include "net/transport.h"
 
 namespace xlupc::net {
@@ -17,6 +18,38 @@ Duration ProtocolEngine::scaled(NodeId node, Duration d) const {
   return static_cast<Duration>(static_cast<double>(d) * f);
 }
 
+void ProtocolEngine::declare_peer_dead(NodeId node) {
+  if (dead_.size() <= node) dead_.resize(node + 1, 0);
+  dead_[node] = 1;
+}
+
+void ProtocolEngine::resync_link(NodeId src, NodeId dst) {
+  const std::uint64_t link = (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto it = link_seq_.find(link);
+  if (it == link_seq_.end()) return;
+  // Rebase the stamp counter onto the receiver's high-water mark: every
+  // stamp issued after the reconnect is at or above what the receiver
+  // has applied, so replayed traffic can never be applied twice and
+  // fresh traffic is never mistaken for a late duplicate.
+  it->second.next_seq = it->second.delivered_hwm;
+  ++stats_.link_resyncs;
+}
+
+void ProtocolEngine::seed_link_for_test(NodeId src, NodeId dst,
+                                        std::uint16_t next_seq,
+                                        std::uint16_t delivered_hwm) {
+  const std::uint64_t link = (static_cast<std::uint64_t>(src) << 32) | dst;
+  link_seq_[link] = LinkSeq{next_seq, delivered_hwm};
+}
+
+std::pair<std::uint16_t, std::uint16_t> ProtocolEngine::link_state_for_test(
+    NodeId src, NodeId dst) const {
+  const std::uint64_t link = (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto it = link_seq_.find(link);
+  if (it == link_seq_.end()) return {0, 0};
+  return {it->second.next_seq, it->second.delivered_hwm};
+}
+
 Task<void> ProtocolEngine::deliver_faulty(NodeId src, NodeId dst,
                                           sim::Resource* retx_nic,
                                           Duration retx_cost,
@@ -27,7 +60,8 @@ Task<void> ProtocolEngine::deliver_faulty(NodeId src, NodeId dst,
   const sim::FaultParams& fp = plan.params();
   const std::uint64_t link = (static_cast<std::uint64_t>(src) << 32) | dst;
   LinkSeq& ls = link_seq_[link];
-  const std::uint64_t seq = ls.next_seq++;
+  const std::uint16_t seq = ls.next_seq++;
+  const bool fabric = plan.fabric_enabled();
 
   // The source NIC makes no progress while a stall window is open.
   const Duration stall = plan.stall_remaining(src, sim.now());
@@ -37,30 +71,90 @@ Task<void> ProtocolEngine::deliver_faulty(NodeId src, NodeId dst,
   }
 
   for (std::uint32_t attempt = 0;; ++attempt) {
-    switch (plan.transmit(src, dst)) {
-      case sim::FaultPlan::Verdict::kDeliver: {
-        co_await sim.delay(lat);
-        if (seq >= ls.delivered_hwm) ls.delivered_hwm = seq + 1;
-        // A leg recovered by retransmission may also see its "lost"
-        // original arrive late. It carries the same stamp `seq`, now
-        // below the link's delivered high-water mark, so the receiver
-        // discards it after paying dispatch overhead.
-        if (attempt > 0 && plan.late_duplicate(src, dst) &&
-            seq < ls.delivered_hwm) {
-          ++stats_.duplicate_msgs;
-          co_await sim.delay(machine_.params().recv_overhead);
+    // --- whole-fabric failures: pure schedule lookups, no RNG, so the
+    // per-link verdict streams of message-fault-only plans are never
+    // perturbed (fabric is false for them and the block is skipped).
+    bool lost_to_fabric = false;
+    if (fabric) {
+      const auto now = sim.now();
+      const bool src_dead = plan.node_crashed(src, now);
+      if (src_dead || plan.node_crashed(dst, now)) {
+        const NodeId corpse = src_dead ? src : dst;
+        ++stats_.peer_dead_drops;
+        if (peer_declared_dead(corpse)) {
+          // The failure detector already declared this peer: fail fast
+          // instead of burning the whole retransmission budget.
+          ++stats_.timeouts;
+          throw PeerDeadError(
+              corpse, "transport: peer " + std::to_string(corpse) +
+                          " is dead (declared); leg " + std::to_string(src) +
+                          "->" + std::to_string(dst) + " abandoned");
         }
-        co_return;
+        // Not yet declared: the leg is silently lost, exactly what a
+        // crash-stop looks like from the wire. Fall through to the
+        // RTO/retransmit path below.
+        lost_to_fabric = true;
+      } else if (plan.link_down(src, dst, now)) {
+        const std::uint32_t alts =
+            redundant_paths(machine_.params().topology, src, dst);
+        if (alts > 0) {
+          // Path failover: the fat tree has redundant pod-spine/core
+          // switches, so the flow detours around the dark link. Route
+          // choice is a pure seeded hash (FaultPlan::failover_route);
+          // the detour enters the upper layer one switch over and pays
+          // two extra hops.
+          (void)plan.failover_route(src, dst, alts);
+          ++stats_.failover_routes;
+          co_await sim.delay(failover_latency(machine_.params(), src, dst));
+          if (seq_at_or_after(seq, ls.delivered_hwm)) {
+            ls.delivered_hwm = seq + 1;
+          }
+          co_return;
+        }
+        // No redundant path (GM/LAPI, or a same-leaf fat-tree pair):
+        // the leg is lost until the window closes or the budget runs out.
+        ++stats_.link_down_drops;
+        lost_to_fabric = true;
       }
-      case sim::FaultPlan::Verdict::kDrop:
-        ++stats_.dropped_msgs;
-        break;
-      case sim::FaultPlan::Verdict::kCorrupt:
-        ++stats_.corrupt_msgs;
-        break;
+    }
+    if (!lost_to_fabric) {
+      switch (plan.transmit(src, dst)) {
+        case sim::FaultPlan::Verdict::kDeliver: {
+          co_await sim.delay(lat);
+          if (seq_at_or_after(seq, ls.delivered_hwm)) {
+            ls.delivered_hwm = seq + 1;
+          }
+          // A leg recovered by retransmission may also see its "lost"
+          // original arrive late. It carries the same stamp `seq`, now
+          // below the link's delivered high-water mark, so the receiver
+          // discards it after paying dispatch overhead.
+          if (attempt > 0 && plan.late_duplicate(src, dst) &&
+              !seq_at_or_after(seq, ls.delivered_hwm)) {
+            ++stats_.duplicate_msgs;
+            co_await sim.delay(machine_.params().recv_overhead);
+          }
+          co_return;
+        }
+        case sim::FaultPlan::Verdict::kDrop:
+          ++stats_.dropped_msgs;
+          break;
+        case sim::FaultPlan::Verdict::kCorrupt:
+          ++stats_.corrupt_msgs;
+          break;
+      }
     }
     if (attempt >= fp.max_retransmits) {
       ++stats_.timeouts;
+      if (fabric && (plan.node_crashed(src, sim.now()) ||
+                     plan.node_crashed(dst, sim.now()))) {
+        const NodeId corpse = plan.node_crashed(src, sim.now()) ? src : dst;
+        throw PeerDeadError(
+            corpse, "transport: seq " + std::to_string(seq) + " on link " +
+                        std::to_string(src) + "->" + std::to_string(dst) +
+                        " lost to crashed peer " + std::to_string(corpse) +
+                        " after " + std::to_string(fp.max_retransmits) +
+                        " retransmissions");
+      }
       throw TransportTimeout(
           "transport: seq " + std::to_string(seq) + " on link " +
           std::to_string(src) + "->" + std::to_string(dst) + " lost after " +

@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 #include "net/machine.h"
@@ -38,6 +40,13 @@ struct ProtocolStats {
   std::uint64_t backoff_ns = 0;       ///< simulated time spent in RTO waits
   std::uint64_t nic_stall_waits = 0;  ///< injections delayed by a stall
   std::uint64_t retx_wire_bytes = 0;  ///< bytes re-serialized on the wire
+
+  // Whole-fabric failure recovery (docs/FAULTS.md); nonzero only when
+  // the plan schedules link-down windows or node crashes.
+  std::uint64_t link_down_drops = 0;  ///< legs lost to a dark link
+  std::uint64_t failover_routes = 0;  ///< legs rerouted over an alternate path
+  std::uint64_t peer_dead_drops = 0;  ///< legs abandoned against a dead peer
+  std::uint64_t link_resyncs = 0;     ///< seqno resyncs after reconnection
 };
 
 /// The per-link protocol state machine shared by GmTransport and
@@ -108,14 +117,47 @@ class ProtocolEngine {
   /// (only the statistics window restarts).
   void reset_stats() { stats_ = ProtocolStats{}; }
 
+  /// Sequence stamps are 16-bit and wrap; comparisons use serial-number
+  /// arithmetic (RFC 1982): `a` is at or after `b` when the modular
+  /// distance b -> a is shorter than half the space. Correct as long as
+  /// the in-flight window on a link stays below 2^15 stamps, which the
+  /// simulator's bounded concurrency guarantees by a wide margin.
+  static constexpr bool seq_at_or_after(std::uint16_t a,
+                                        std::uint16_t b) noexcept {
+    return static_cast<std::uint16_t>(a - b) < 0x8000u;
+  }
+
+  /// Membership input from the runtime's failure detector: once `node`
+  /// is declared dead, legs against it fail fast with PeerDeadError
+  /// instead of burning the full retransmission budget.
+  void declare_peer_dead(NodeId node);
+  bool peer_declared_dead(NodeId node) const noexcept {
+    return node < dead_.size() && dead_[node] != 0;
+  }
+
+  /// Connection re-establishment resync (IB QP reconnect): rebase the
+  /// sender's stamp counter onto the receiver's delivered high-water
+  /// mark so replayed traffic stays inside the duplicate-suppression
+  /// window — apply-once is preserved across the reconnect.
+  void resync_link(NodeId src, NodeId dst);
+
+  /// Test hooks (tests/net_protocol_test.cpp): place a link's sequence
+  /// state near the wrap boundary and read it back.
+  void seed_link_for_test(NodeId src, NodeId dst, std::uint16_t next_seq,
+                          std::uint16_t delivered_hwm);
+  std::pair<std::uint16_t, std::uint16_t> link_state_for_test(
+      NodeId src, NodeId dst) const;
+
  private:
   /// Per-link sequence bookkeeping, used only when a fault plan is
   /// enabled: the sender stamps every message, retransmitted copies reuse
   /// the stamp, and the receiver discards any copy at or below its
-  /// delivered high-water mark (duplicate suppression).
+  /// delivered high-water mark (duplicate suppression). Stamps are
+  /// 16-bit on purpose — real NIC sequence spaces wrap, and so does this
+  /// one; every comparison goes through seq_at_or_after.
   struct LinkSeq {
-    std::uint64_t next_seq = 0;       ///< sender-side stamp counter
-    std::uint64_t delivered_hwm = 0;  ///< highest delivered seq + 1
+    std::uint16_t next_seq = 0;       ///< sender-side stamp counter
+    std::uint16_t delivered_hwm = 0;  ///< one past the newest delivered seq
   };
 
   /// The full reliability state machine (fault-plan runs only).
@@ -127,6 +169,7 @@ class ProtocolEngine {
   Machine& machine_;
   ProtocolStats stats_;
   std::map<std::uint64_t, LinkSeq> link_seq_;  // keyed (src << 32) | dst
+  std::vector<std::uint8_t> dead_;             // detector-declared peers
 };
 
 }  // namespace xlupc::net

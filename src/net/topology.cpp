@@ -26,4 +26,14 @@ sim::Duration wire_latency(const PlatformParams& p, NodeId a, NodeId b) {
   return p.wire_base + p.hop_latency * hops_between(p.topology, a, b);
 }
 
+std::uint32_t redundant_paths(TopologyKind topology, NodeId a, NodeId b) {
+  if (topology != TopologyKind::kFatTree) return 0;
+  if (hops_between(topology, a, b) < 3) return 0;
+  return kFatTreeLeaf - 1;
+}
+
+sim::Duration failover_latency(const PlatformParams& p, NodeId a, NodeId b) {
+  return wire_latency(p, a, b) + 2 * p.hop_latency;
+}
+
 }  // namespace xlupc::net

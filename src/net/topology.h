@@ -30,4 +30,18 @@ std::uint32_t hops_between(TopologyKind topology, NodeId a, NodeId b);
 /// One-way wire latency between two nodes under `p`.
 sim::Duration wire_latency(const PlatformParams& p, NodeId a, NodeId b);
 
+/// Count of *redundant* alternate routes between two nodes, beyond the
+/// primary path. Only the fat tree offers path diversity: flows that
+/// climb to the pod-spine layer (3 hops) can pick among the pod's spine
+/// switches, and core-layer flows (5 hops) among the core switches —
+/// modelled as kFatTreeLeaf - 1 alternates each. Single-path topologies
+/// (flat switch, Myrinet routes, and fat-tree same-leaf pairs) return 0:
+/// a link-down window there is an outage, not a reroute.
+std::uint32_t redundant_paths(TopologyKind topology, NodeId a, NodeId b);
+
+/// One-way wire latency of a failover detour between two nodes: the
+/// alternate route enters the pod-spine/core layer one switch over, so
+/// it pays the primary path's latency plus two extra hops.
+sim::Duration failover_latency(const PlatformParams& p, NodeId a, NodeId b);
+
 }  // namespace xlupc::net

@@ -41,8 +41,20 @@ const TransportStats& Transport::stats() const noexcept {
   merged_stats_.backoff_ns = ps.backoff_ns;
   merged_stats_.nic_stall_waits = ps.nic_stall_waits;
   merged_stats_.wire_bytes += ps.retx_wire_bytes;
+  merged_stats_.link_down_drops = ps.link_down_drops;
+  merged_stats_.failover_routes = ps.failover_routes;
+  merged_stats_.peer_dead_drops = ps.peer_dead_drops;
+  merged_stats_.link_resyncs = ps.link_resyncs;
   return merged_stats_;
 }
+
+void Transport::on_peer_dead(NodeId /*node*/) {
+  // GM/LAPI keep no per-peer connection state: nothing to tear down.
+  // In-flight legs to the dead peer fail fast inside the protocol
+  // engine's delivery loop instead of burning the retransmit budget.
+}
+
+void Transport::on_link_down(NodeId /*a*/, NodeId /*b*/) {}
 
 AmTarget::BatchServe AmTarget::serve_batch(NodeId target, RdmaBatch&& batch) {
   // Default routing: each member goes through the ordinary AM handlers
@@ -73,7 +85,8 @@ AmTarget::BatchServe AmTarget::serve_batch(NodeId target, RdmaBatch&& batch) {
 
 void TransportStats::fold_into(sim::MetricsRegistry& reg, bool faults_enabled,
                                bool coalescing_enabled,
-                               bool ib_enabled) const {
+                               bool ib_enabled,
+                               bool fabric_enabled) const {
   reg.set("transport.gets.eager", am_gets);
   reg.set("transport.gets.rendezvous", rendezvous_gets);
   reg.set("transport.puts.eager", am_puts);
@@ -110,6 +123,19 @@ void TransportStats::fold_into(sim::MetricsRegistry& reg, bool faults_enabled,
     reg.set("reliability.timeouts", timeouts);
     reg.set("reliability.bounce_fallbacks", bounce_fallbacks);
     reg.set_gauge("reliability.backoff_us", sim::to_us(backoff_ns));
+  }
+  // Folded only when the plan schedules link-down windows or crashes, so
+  // message-fault-only reports stay byte-identical to builds that
+  // predate the whole-fabric failure model (docs/FAULTS.md).
+  if (fabric_enabled) {
+    reg.set("fault.fabric.link_down_drops", link_down_drops);
+    reg.set("fault.fabric.failover_routes", failover_routes);
+    reg.set("fault.fabric.peer_dead_drops", peer_dead_drops);
+    reg.set("fault.fabric.link_resyncs", link_resyncs);
+    if (ib_enabled) {
+      reg.set("fault.fabric.qp_errors", qp_errors);
+      reg.set("fault.fabric.qp_reconnects", qp_reconnects);
+    }
   }
 }
 

@@ -51,6 +51,23 @@ class TransportTimeout : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when the retransmission budget exhausts against a peer that has
+/// crash-stopped (sim::FaultParams::crashes): the message can never be
+/// delivered, so retrying is pointless. Derives from TransportTimeout so
+/// every existing catch site — the detached protocol halves that complete
+/// locally to keep fences from deadlocking — handles it unchanged; layers
+/// that care about the distinction (core::CompletionEngine mapping it to
+/// OpStatus::kPeerFailed) catch the derived type first.
+class PeerDeadError : public TransportTimeout {
+ public:
+  PeerDeadError(NodeId peer, const std::string& what)
+      : TransportTimeout(what), peer_(peer) {}
+  NodeId peer() const noexcept { return peer_; }
+
+ private:
+  NodeId peer_;
+};
+
 /// Why a one-sided operation was refused by the target. Returned on the
 /// transport's RDMA result path so callers cannot confuse "not pinned"
 /// (recoverable: invalidate the cache entry and fall back to the AM path)
@@ -184,16 +201,29 @@ struct TransportStats {
   std::uint64_t rnr_naks = 0;      ///< receiver-not-ready NAKs received
   std::uint64_t rnr_retries = 0;   ///< rendezvous re-sends after an RNR
 
+  // Whole-fabric failure recovery (docs/FAULTS.md). All zero unless the
+  // FaultPlan schedules link-down windows or crashes; folded into the
+  // registry only then (`fabric_enabled`), so message-fault-only reports
+  // stay byte-identical to builds without the fabric failure model.
+  std::uint64_t link_down_drops = 0;  ///< legs lost to a dark link
+  std::uint64_t failover_routes = 0;  ///< legs rerouted over an alternate path
+  std::uint64_t peer_dead_drops = 0;  ///< legs abandoned against a dead peer
+  std::uint64_t link_resyncs = 0;     ///< seqno resyncs after reconnection
+  std::uint64_t qp_errors = 0;        ///< QPs transitioned to the error state
+  std::uint64_t qp_reconnects = 0;    ///< QPs torn down and re-established
+
   /// Fold this struct into `reg` under the stable dotted names of the
   /// observability taxonomy (`transport.*`; when `faults_enabled`, the
   /// transport-owned subset of `fault.*` / `reliability.*`; when
   /// `coalescing_enabled`, the `transport.batch_*` family; when
-  /// `ib_enabled`, the `transport.ib.*` queue-pair family). The single
+  /// `ib_enabled`, the `transport.ib.*` queue-pair family; when
+  /// `fabric_enabled`, the `fault.fabric.*` recovery family). The single
   /// fold point is what keeps the struct and the registry from drifting;
   /// metrics_test additionally asserts field-by-field equality.
   void fold_into(sim::MetricsRegistry& reg, bool faults_enabled,
                  bool coalescing_enabled = false,
-                 bool ib_enabled = false) const;
+                 bool ib_enabled = false,
+                 bool fabric_enabled = false) const;
 };
 
 /// Identifies the initiating UPC thread's seat in the machine.
@@ -265,6 +295,28 @@ class Transport {
   const TransportStats& stats() const noexcept;
   /// The shared per-link protocol core (seqno/ACK/retransmit/NAK).
   const ProtocolEngine& protocol() const noexcept { return protocol_; }
+
+  /// Declare `node` dead to the reliability layer (in-flight legs against
+  /// it fail fast with PeerDeadError) and let the backend tear down its
+  /// connection state. The runtime's failure detector calls this once per
+  /// declared death.
+  void peer_dead(NodeId node) {
+    protocol_.declare_peer_dead(node);
+    on_peer_dead(node);
+  }
+
+  /// Recovery notification from the runtime's failure detector: `node`
+  /// has been declared dead (membership epoch advanced). Backends react
+  /// to connection state — the IB transport moves every queue pair that
+  /// touches `node` into the error state; the GM/LAPI AM paths keep no
+  /// per-peer connection state, so the base implementation is a no-op
+  /// (their in-flight legs fail fast through the protocol engine's
+  /// dead-peer check instead).
+  virtual void on_peer_dead(NodeId node);
+  /// Recovery notification: the (a, b) fabric link entered a scheduled
+  /// down window. The IB transport error-fences the pair's queue pairs
+  /// when the topology offers no failover path; base is a no-op.
+  virtual void on_link_down(NodeId a, NodeId b);
   /// Zero the message/byte counters, the protocol engine's recovery
   /// counters and every node's registration-cache counters (resident
   /// registrations are kept — only the statistics window restarts).
@@ -297,6 +349,9 @@ class Transport {
   sim::Duration scaled(NodeId node, sim::Duration d) const {
     return protocol_.scaled(node, d);
   }
+  /// Mutable protocol core for backend recovery paths (seqno resync
+  /// after a connection is re-established).
+  ProtocolEngine& protocol_mut() noexcept { return protocol_; }
 
   Machine& machine_;
   AmTarget& target_;

@@ -92,4 +92,41 @@ double FaultPlan::slowdown(std::uint32_t node, Time now) const {
   return factor;
 }
 
+bool FaultPlan::node_crashed(std::uint32_t node, Time now) const {
+  if (!enabled_) return false;
+  for (const NodeCrash& c : params_.crashes) {
+    if (c.node == node && now >= c.at) return true;
+  }
+  return false;
+}
+
+Time FaultPlan::crash_time(std::uint32_t node) const {
+  Time at = kNever;
+  if (!enabled_) return at;
+  for (const NodeCrash& c : params_.crashes) {
+    if (c.node == node) at = std::min(at, c.at);
+  }
+  return at;
+}
+
+bool FaultPlan::link_down(std::uint32_t a, std::uint32_t b, Time now) const {
+  if (!enabled_) return false;
+  for (const LinkDownWindow& w : params_.link_downs) {
+    const bool matches = (w.a == a && w.b == b) || (w.a == b && w.b == a);
+    if (!matches) continue;
+    if (now >= w.start && now < w.start + w.length) return true;
+  }
+  return false;
+}
+
+std::uint32_t FaultPlan::failover_route(std::uint32_t src, std::uint32_t dst,
+                                        std::uint32_t nroutes) const {
+  if (nroutes == 0) return 0;
+  // Stateless: flows hash onto alternates without touching the per-link
+  // verdict streams, so enabling failover never shifts message fates.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) << 32) | dst;
+  return static_cast<std::uint32_t>(mix(params_.seed ^ mix(~key)) % nroutes);
+}
+
 }  // namespace xlupc::sim

@@ -292,6 +292,54 @@ TEST(RuntimeMetrics, TransportStatsAndRegistryCountersAgree) {
   EXPECT_GT(ts.wire_bytes, 0u);
 }
 
+// The whole-fabric recovery families (fault.fabric.*, fault.detector.*,
+// fault.breaker.*) are gated on fabric plans: a message-fault-only plan
+// must not even mention them (its reports stay byte-identical to builds
+// that predate the fabric failure model), while a fabric plan folds them
+// as exact views of the TransportStats / DetectorStats fields.
+TEST(RuntimeMetrics, FabricCountersFoldOnlyUnderFabricPlans) {
+  const auto has_counter = [](const core::RunReport& rep, const char* name) {
+    for (const auto& [k, v] : rep.counters) {
+      if (k == name) return true;
+    }
+    return false;
+  };
+
+  {
+    Runtime rt(faulty_config());  // drops + dups, but no fabric faults
+    rt.run(tiny_body);
+    const core::RunReport rep = rt.metrics();
+    EXPECT_FALSE(has_counter(rep, "fault.fabric.link_down_drops"));
+    EXPECT_FALSE(has_counter(rep, "fault.fabric.failover_routes"));
+    EXPECT_FALSE(has_counter(rep, "fault.fabric.peer_dead_drops"));
+    EXPECT_FALSE(has_counter(rep, "fault.detector.deaths"));
+    EXPECT_FALSE(has_counter(rep, "fault.breaker.fast_fails"));
+  }
+  {
+    RuntimeConfig cfg = tiny_config();
+    cfg.faults.seed = 42;
+    cfg.faults.link_downs = {{0, 1, sim::us(1.0), sim::us(2.0)}};
+    Runtime rt(std::move(cfg));
+    rt.run(tiny_body);
+    const net::TransportStats& ts = rt.transport().stats();
+    const core::RunReport rep = rt.metrics();
+    EXPECT_EQ(rep.counter("fault.fabric.link_down_drops"),
+              ts.link_down_drops);
+    EXPECT_EQ(rep.counter("fault.fabric.failover_routes"),
+              ts.failover_routes);
+    EXPECT_EQ(rep.counter("fault.fabric.peer_dead_drops"),
+              ts.peer_dead_drops);
+    EXPECT_EQ(rep.counter("fault.fabric.link_resyncs"), ts.link_resyncs);
+    // The QP families are IB-only; this run is on GM.
+    EXPECT_FALSE(has_counter(rep, "fault.fabric.qp_errors"));
+    EXPECT_FALSE(has_counter(rep, "fault.fabric.qp_reconnects"));
+    // Detector families are present (zero deaths: nobody crashed).
+    EXPECT_TRUE(has_counter(rep, "fault.detector.heartbeats"));
+    EXPECT_EQ(rep.counter("fault.detector.deaths"), 0u);
+    EXPECT_TRUE(has_counter(rep, "fault.breaker.fast_fails"));
+  }
+}
+
 TEST(RuntimeMetrics, TraceLinesPresentOnlyWhenTracing) {
   {
     Runtime rt(tiny_config());

@@ -66,11 +66,13 @@ class Target : public AmTarget {
 };
 
 struct Rig {
-  explicit Rig(PlatformParams p, std::uint32_t cores = 2)
-      : target(8 << 20), machine(sim, std::move(p), [cores] {
+  explicit Rig(PlatformParams p, std::uint32_t cores = 2,
+               sim::FaultParams faults = {})
+      : target(8 << 20), machine(sim, std::move(p), [cores, &faults] {
           MachineConfig c;
           c.nodes = 2;
           c.cores_per_node = cores;
+          c.faults = faults;
           return c;
         }()) {
     transport = make_transport(machine, target);
@@ -252,6 +254,118 @@ TEST(Protocol, ConcurrentGetsToOneLapiNodeOverlapOnCommPool) {
   // Handler overlap: two concurrent ops cost much less than 2x solo.
   EXPECT_LT(lapi, solo + solo / 2);
   (void)gm_same_core;
+}
+
+// ---------------------------------------------------------------------
+// 16-bit sequence numbers: serial arithmetic and wraparound behaviour.
+
+TEST(ProtocolSeqno, SerialArithmeticProperties) {
+  using PE = ProtocolEngine;
+  // Reflexivity and adjacency.
+  static_assert(PE::seq_at_or_after(0, 0));
+  static_assert(PE::seq_at_or_after(1, 0));
+  static_assert(!PE::seq_at_or_after(0, 1));
+  // Across the wrap: 5 is "after" 65530 (modular distance 11).
+  static_assert(PE::seq_at_or_after(5, 65530));
+  static_assert(!PE::seq_at_or_after(65530, 5));
+  // Half-space boundary: distances up to 0x7fff count as "at or after",
+  // 0x8000 and beyond flip to "before" — for every base, including ones
+  // that straddle the wrap.
+  for (std::uint32_t base : {0u, 1u, 0x7fffu, 0x8000u, 0xfff0u, 0xffffu}) {
+    const auto b = static_cast<std::uint16_t>(base);
+    EXPECT_TRUE(PE::seq_at_or_after(
+        static_cast<std::uint16_t>(b + 0x7fffu), b));
+    EXPECT_FALSE(PE::seq_at_or_after(
+        static_cast<std::uint16_t>(b + 0x8000u), b));
+    EXPECT_FALSE(PE::seq_at_or_after(static_cast<std::uint16_t>(b - 1), b));
+  }
+}
+
+TEST(ProtocolSeqno, DeliveryAndDuplicateSuppressionAcrossWrap) {
+  // Seed a link right below the 16-bit wrap and push enough lossy legs
+  // through it to cross: every leg must still retire exactly once, the
+  // high-water mark must follow the stamps through the wrap, and late
+  // duplicates of retransmitted legs must still be suppressed.
+  sim::FaultParams fp;
+  fp.seed = 9;
+  fp.drop_prob = 0.2;
+  fp.dup_prob = 1.0;  // every recovered loss also arrives late
+  Rig rig(mare_nostrum_gm(), 2, fp);
+  ProtocolEngine pe(rig.machine);
+  constexpr std::uint16_t kStart = 65520;
+  constexpr int kLegs = 64;
+  pe.seed_link_for_test(0, 1, kStart, kStart);
+
+  int done = 0;
+  for (int i = 0; i < kLegs; ++i) {
+    rig.sim.spawn([](Rig& r, ProtocolEngine& e, int& d) -> sim::Task<> {
+      co_await e.deliver(0, 1, nullptr, 0, 0);
+      ++d;
+    }(rig, pe, done));
+  }
+  rig.sim.run();
+
+  EXPECT_EQ(done, kLegs);
+  const auto [next, hwm] = pe.link_state_for_test(0, 1);
+  EXPECT_EQ(next, static_cast<std::uint16_t>(kStart + kLegs));
+  EXPECT_LT(next, kStart);  // the counter really wrapped through 0
+  EXPECT_EQ(hwm, next);     // everything up to the last stamp delivered
+  EXPECT_GT(pe.stats().retransmits, 0u);
+  EXPECT_GT(pe.stats().duplicate_msgs, 0u);
+  EXPECT_EQ(pe.stats().timeouts, 0u);
+}
+
+TEST(ProtocolSeqno, ResyncRebasesOntoDeliveredHighWaterMark) {
+  Rig rig(mare_nostrum_gm());
+  ProtocolEngine pe(rig.machine);
+  // A reconnect forgets in-flight stamps [37, 100): the sender restarts
+  // at the receiver's high-water mark so replay can't double-apply.
+  pe.seed_link_for_test(0, 1, 100, 37);
+  pe.resync_link(0, 1);
+  const auto [next, hwm] = pe.link_state_for_test(0, 1);
+  EXPECT_EQ(next, 37);
+  EXPECT_EQ(hwm, 37);
+  EXPECT_EQ(pe.stats().link_resyncs, 1u);
+  // Resyncing a link that never carried traffic is a no-op.
+  pe.resync_link(1, 0);
+  EXPECT_EQ(pe.stats().link_resyncs, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Retransmission-budget exhaustion: a hard typed error, never a hang.
+
+TEST(ProtocolBudget, ExhaustionThrowsTransportTimeout) {
+  sim::FaultParams fp;
+  fp.seed = 3;
+  fp.drop_prob = 1.0;  // the link never delivers
+  fp.max_retransmits = 3;
+  Rig rig(mare_nostrum_gm(), 2, fp);
+  ProtocolEngine pe(rig.machine);
+  rig.sim.spawn([](Rig& r, ProtocolEngine& e) -> sim::Task<> {
+    co_await e.deliver(0, 1, nullptr, 0, 0);
+  }(rig, pe));
+  EXPECT_THROW(rig.sim.run(), TransportTimeout);
+  EXPECT_EQ(pe.stats().timeouts, 1u);
+  EXPECT_EQ(pe.stats().retransmits, 3u);
+  EXPECT_EQ(pe.stats().dropped_msgs, 4u);  // initial send + 3 retries
+}
+
+TEST(ProtocolBudget, TransportGetSurfacesTimeoutNotHang) {
+  // End-to-end through a real transport: with a fully dark link the GET
+  // must come back as TransportTimeout once the budget is spent — the
+  // simulation drains instead of wedging on a lost completion.
+  sim::FaultParams fp;
+  fp.seed = 3;
+  fp.drop_prob = 1.0;
+  fp.max_retransmits = 2;
+  Rig rig(mare_nostrum_gm(), 2, fp);
+  rig.sim.spawn([](Rig& r) -> sim::Task<> {
+    GetRequest req;
+    req.len = 8;
+    (void)co_await r.transport->get({0, 0}, 1, req);
+  }(rig));
+  EXPECT_THROW(rig.sim.run(), TransportTimeout);
+  EXPECT_GE(rig.transport->stats().timeouts, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Chaos-recovery determinism check (docs/FAULTS.md).
+#
+# Runs the chaos_sweep benchmark — crash-stop node failures plus
+# link-flap windows under the recovery layer — twice with the same seed
+# and verifies that
+#   1. the run completes at all (no scenario hangs: a crash must never
+#      wedge a fence, wait, or the failure detector),
+#   2. the two --json reports and tables are byte-identical
+#      (replayability), and
+#   3. the reports show real recovery work: the failure detector
+#      declared deaths (fault.detector.deaths) and the circuit breaker
+#      fast-failed ops to dead nodes (fault.breaker.fast_fails). On the
+#      fat-tree ib machine, link flaps must additionally reroute over
+#      alternate spines (fault.fabric.failover_routes).
+#
+# Usage: tools/chaoscheck.sh <path-to-chaos_sweep-binary> [seed] [machine]
+# With no machine given the check loops over every calibrated machine.
+set -eu
+
+bin=${1:?usage: chaoscheck.sh <chaos_sweep-binary> [seed] [machine]}
+seed=${2:-42}
+machine=${3:-}
+
+check_machine() {
+  m=$1
+  machine_args=""
+  [ -n "$m" ] && machine_args="--machine $m"
+
+  tmpdir=$(mktemp -d)
+  # shellcheck disable=SC2086  # machine_args is intentionally word-split
+  "$bin" --seed "$seed" $machine_args --json "$tmpdir/a.json" > "$tmpdir/a.txt"
+  # shellcheck disable=SC2086
+  "$bin" --seed "$seed" $machine_args --json "$tmpdir/b.json" > "$tmpdir/b.txt"
+
+  if ! cmp -s "$tmpdir/a.json" "$tmpdir/b.json"; then
+    echo "chaoscheck: --json reports differ across same-seed runs" >&2
+    diff "$tmpdir/a.json" "$tmpdir/b.json" >&2 || true
+    rm -rf "$tmpdir"
+    exit 1
+  fi
+  if ! cmp -s "$tmpdir/a.txt" "$tmpdir/b.txt"; then
+    echo "chaoscheck: table output differs across same-seed runs" >&2
+    diff "$tmpdir/a.txt" "$tmpdir/b.txt" >&2 || true
+    rm -rf "$tmpdir"
+    exit 1
+  fi
+
+  counters="fault.detector.deaths fault.breaker.fast_fails"
+  [ "$m" = "ib" ] && counters="$counters fault.fabric.failover_routes"
+  for counter in $counters; do
+    if ! grep -Eq "\"$counter\": *[1-9]" "$tmpdir/a.json"; then
+      echo "chaoscheck: expected nonzero $counter in the report" >&2
+      rm -rf "$tmpdir"
+      exit 1
+    fi
+  done
+  rm -rf "$tmpdir"
+
+  echo "chaoscheck: seed $seed${m:+ on $m} replays byte-identically with detected crashes"
+}
+
+if [ -n "$machine" ]; then
+  check_machine "$machine"
+else
+  for m in gm lapi ib; do
+    check_machine "$m"
+  done
+fi

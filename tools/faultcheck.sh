@@ -10,40 +10,55 @@
 # Usage: tools/faultcheck.sh <path-to-fault_sweep-binary> [seed] [machine]
 # The optional machine name (gm, lapi, ib — docs/MACHINES.md) is passed
 # through as --machine: the reliability layer must recover losses (and
-# RNR-degraded pins) identically on every backend.
+# RNR-degraded pins) identically on every backend. With no machine given
+# the check loops over every calibrated machine, so one ctest job covers
+# all three backends.
 set -eu
 
 bin=${1:?usage: faultcheck.sh <fault_sweep-binary> [seed] [machine]}
 seed=${2:-42}
 machine=${3:-}
 
-machine_args=""
-[ -n "$machine" ] && machine_args="--machine $machine"
+check_machine() {
+  m=$1
+  machine_args=""
+  [ -n "$m" ] && machine_args="--machine $m"
 
-tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+  tmpdir=$(mktemp -d)
+  # shellcheck disable=SC2086  # machine_args is intentionally word-split
+  "$bin" --seed "$seed" $machine_args --json "$tmpdir/a.json" > "$tmpdir/a.txt"
+  # shellcheck disable=SC2086
+  "$bin" --seed "$seed" $machine_args --json "$tmpdir/b.json" > "$tmpdir/b.txt"
 
-# shellcheck disable=SC2086  # machine_args is intentionally word-split
-"$bin" --seed "$seed" $machine_args --json "$tmpdir/a.json" > "$tmpdir/a.txt"
-# shellcheck disable=SC2086
-"$bin" --seed "$seed" $machine_args --json "$tmpdir/b.json" > "$tmpdir/b.txt"
-
-if ! cmp -s "$tmpdir/a.json" "$tmpdir/b.json"; then
-  echo "faultcheck: --json reports differ across same-seed runs" >&2
-  diff "$tmpdir/a.json" "$tmpdir/b.json" >&2 || true
-  exit 1
-fi
-if ! cmp -s "$tmpdir/a.txt" "$tmpdir/b.txt"; then
-  echo "faultcheck: table output differs across same-seed runs" >&2
-  diff "$tmpdir/a.txt" "$tmpdir/b.txt" >&2 || true
-  exit 1
-fi
-
-for counter in reliability.retransmits reliability.rdma_nak_fallbacks; do
-  if ! grep -Eq "\"$counter\": *[1-9]" "$tmpdir/a.json"; then
-    echo "faultcheck: expected nonzero $counter in the report" >&2
+  if ! cmp -s "$tmpdir/a.json" "$tmpdir/b.json"; then
+    echo "faultcheck: --json reports differ across same-seed runs" >&2
+    diff "$tmpdir/a.json" "$tmpdir/b.json" >&2 || true
+    rm -rf "$tmpdir"
     exit 1
   fi
-done
+  if ! cmp -s "$tmpdir/a.txt" "$tmpdir/b.txt"; then
+    echo "faultcheck: table output differs across same-seed runs" >&2
+    diff "$tmpdir/a.txt" "$tmpdir/b.txt" >&2 || true
+    rm -rf "$tmpdir"
+    exit 1
+  fi
 
-echo "faultcheck: seed $seed${machine:+ on $machine} replays byte-identically with recovery work"
+  for counter in reliability.retransmits reliability.rdma_nak_fallbacks; do
+    if ! grep -Eq "\"$counter\": *[1-9]" "$tmpdir/a.json"; then
+      echo "faultcheck: expected nonzero $counter in the report" >&2
+      rm -rf "$tmpdir"
+      exit 1
+    fi
+  done
+  rm -rf "$tmpdir"
+
+  echo "faultcheck: seed $seed${m:+ on $m} replays byte-identically with recovery work"
+}
+
+if [ -n "$machine" ]; then
+  check_machine "$machine"
+else
+  for m in gm lapi ib; do
+    check_machine "$m"
+  done
+fi
