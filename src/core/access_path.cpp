@@ -232,6 +232,100 @@ Task<void> AccessPath::put_span(UpcThread& th, ArrayDesc a, Layout::Loc loc,
   trace(TracePath::kAm);
 }
 
+Task<void> AccessPath::amo_span(UpcThread& th, CommOp op, Layout::Loc loc) {
+  const auto& p = rt_.cfg_.platform;
+  const Layout& layout = *op.array.layout;
+  const NodeId owner = layout.node_of(loc.thread);
+  const std::uint64_t node_off = layout.node_offset(loc);
+  const sim::Time t_start = rt_.sim_.now();
+  auto trace = [&](TracePath path) {
+    if (!rt_.tracer_.enabled()) return;
+    rt_.tracer_.record(TraceEvent{th.id(), TraceOp::kAmo, path, owner,
+                                  sizeof(std::uint64_t), t_start,
+                                  rt_.sim_.now()});
+  };
+
+  if (owner == th.node()) {
+    // Shared-local atomic: translation is a local lookup and the word is
+    // updated through the node's memory system. Within a node the UPC
+    // threads are cooperatively scheduled on the DES, so the plain
+    // read-modify-write is already indivisible.
+    const bool same_thread = loc.thread == th.id();
+    co_await rt_.machine_.core(th.node(), th.core())
+        .use(same_thread ? p.local_access : p.shm_latency);
+    const std::uint64_t old = rt_.apply_amo(
+        owner, rt_.local_translate(owner, op.array.handle, node_off,
+                                   sizeof(std::uint64_t)),
+        op.kind, op.operand, op.compare);
+    if (op.result != nullptr) *op.result = old;
+    if (same_thread) {
+      ++rt_.counters_.local_amos;
+      trace(TracePath::kLocal);
+    } else {
+      ++rt_.counters_.shm_amos;
+      trace(TracePath::kShm);
+    }
+    if (op.kind == OpKind::kCas && old != op.compare) {
+      ++rt_.counters_.cas_failures;
+    }
+    co_return;
+  }
+
+  // Circuit breaker (same contract as get_span): an AMO against a peer
+  // already declared dead fails fast with the typed error, which
+  // wait_status maps to OpStatus::kPeerFailed.
+  if (rt_.peer_failed(owner)) {
+    ++rt_.counters_.breaker_fast_fails;
+    throw net::PeerDeadError(owner, "amo: target node " +
+                                        std::to_string(owner) +
+                                        " was declared dead");
+  }
+
+  const net::Initiator from{th.node(), th.core()};
+  net::AmoRequest req;
+  req.verb = op.kind == OpKind::kFaa ? net::AmoVerb::kFaa : net::AmoVerb::kCas;
+  req.svd_handle = op.array.handle.pack();
+  req.offset = node_off;
+  req.operand = op.operand;
+  req.compare = op.compare;
+  req.target_core = layout.core_of(loc.thread);
+
+  // Address-cache probe, meaningful only on offload backends (IB): a hit
+  // arms the NIC-offloaded lowering with the cached remote address. On
+  // GM/LAPI the AM handler translates at the home, so the probe (and its
+  // cache_lookup charge) is skipped entirely — their AMO timing does not
+  // depend on cache state.
+  const bool use_cache = rt_.cfg_.cache.enabled && p.rdma_offload;
+  const CacheKey key = rt_.make_key(op.array, owner, node_off);
+  if (use_cache) {
+    co_await rt_.machine_.core(th.node(), th.core()).use(p.cache_lookup);
+    if (auto info = rt_.node(th.node()).cache->lookup(key)) {
+      req.raddr = info->base + node_off;
+    }
+  }
+
+  net::AmoResult res = co_await rt_.transport_->amo(from, owner, req);
+  if (!res.ok()) {
+    // NAK: the cached window is no longer pinned. Invalidate and retry
+    // through the AM lowering (which translates at the home node).
+    rt_.node(th.node()).cache->invalidate(key);
+    ++rt_.counters_.rdma_naks;
+    req.raddr = kNullAddr;
+    res = co_await rt_.transport_->amo(from, owner, req);
+  }
+  if (op.result != nullptr) *op.result = res.value;
+  if (res.offloaded) {
+    ++rt_.counters_.rdma_amos;
+    trace(TracePath::kRdmaOffload);
+  } else {
+    ++rt_.counters_.am_amos;
+    trace(TracePath::kAm);
+  }
+  if (op.kind == OpKind::kCas && res.value != op.compare) {
+    ++rt_.counters_.cas_failures;
+  }
+}
+
 Task<void> AccessPath::execute(UpcThread& th, CommOp op) {
   // Plain dispatcher: single-run ops forward to the span coroutine with
   // no execute() frame. Safe because get_span/put_span copy their
@@ -241,6 +335,7 @@ Task<void> AccessPath::execute(UpcThread& th, CommOp op) {
   const Layout& layout = *op.array.layout;
   const Layout::Loc loc =
       op.two_d ? layout.locate2d(op.row, op.col) : layout.locate(op.elem);
+  if (is_amo(op.kind)) return amo_span(th, std::move(op), loc);
   if (op.kind == OpKind::kGet) {
     return get_span(th, std::move(op.array), loc,
                     std::span<std::byte>(op.dst, op.bytes));
@@ -330,9 +425,12 @@ OpHandle CompletionEngine::issue(CommOp op, bool deferred) {
     // Blocking (deferred) ops are never staged — their inline-execute
     // timing stays byte-identical — and with the default threshold of 0
     // nothing ever is.
+    // Atomics are never staged: a batched FAA would lose its
+    // read-modify-write indivisibility and its value-return path.
     const CoalesceConfig& cc = rt_.cfg_.coalesce;
     std::optional<NodeId> dest;
-    if (cc.enabled() && !s.op.multi && s.op.bytes <= cc.threshold) {
+    if (cc.enabled() && !s.op.multi && !is_amo(s.op.kind) &&
+        s.op.bytes <= cc.threshold) {
       dest = AccessPath::remote_dest(th_, s.op);
     }
     ++outstanding_async_;

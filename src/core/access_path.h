@@ -33,7 +33,14 @@ namespace xlupc::core {
 class Runtime;
 class UpcThread;
 
-enum class OpKind : std::uint8_t { kGet, kPut };
+enum class OpKind : std::uint8_t { kGet, kPut, kFaa, kCas };
+
+/// Atomic memory operations (remote FAA/CAS) share the tier dispatch
+/// with GET/PUT but return a value and must apply indivisibly at the
+/// element's home — they are never coalesced and never split.
+inline bool is_amo(OpKind k) noexcept {
+  return k == OpKind::kFaa || k == OpKind::kCas;
+}
 
 /// Non-owning view of an ArrayDesc for op descriptors. The aliasing
 /// shared_ptr constructor with an empty control block makes copies and
@@ -62,6 +69,12 @@ struct CommOp {
   std::byte* dst = nullptr;        ///< kGet destination
   const std::byte* src = nullptr;  ///< kPut source
   std::size_t bytes = 0;
+  // --- atomic verbs (kFaa/kCas) ---
+  std::uint64_t operand = 0;       ///< FAA delta / CAS desired value
+  std::uint64_t compare = 0;       ///< CAS expected value
+  /// Where the fetched old value lands at retirement. Caller-owned; must
+  /// outlive the op (same contract as dst for nonblocking GETs).
+  std::uint64_t* result = nullptr;
 };
 
 /// Typed outcome of a completed operation — the error-propagation
@@ -123,6 +136,11 @@ class AccessPath {
                            std::span<std::byte> dst);
   sim::Task<void> put_span(UpcThread& th, ArrayDesc a, Layout::Loc loc,
                            std::span<const std::byte> src);
+  /// Atomic tier dispatch: local/shm apply on the calling node, remote
+  /// elements go through Transport::amo() — NIC-offloaded verbs atomics
+  /// on IB (address-cache hit), AM-handler lowering otherwise. Writes
+  /// the fetched old value through op.result.
+  sim::Task<void> amo_span(UpcThread& th, CommOp op, Layout::Loc loc);
 
   // --- coalescing routing helpers (docs/COALESCING.md) ---
   /// The remote node a single-run op is bound for, or nullopt when the

@@ -95,6 +95,14 @@ struct OpCounters {
   std::uint64_t am_puts = 0;
   std::uint64_t rdma_puts = 0;
   std::uint64_t rdma_naks = 0;   ///< RDMA refused (unpinned), fell back
+  // Remote atomics (FAA/CAS). All zero unless the workload issues them;
+  // the comm.amo.* report keys are folded only then, so atomics-free
+  // reports stay byte-identical to pre-AMO builds.
+  std::uint64_t local_amos = 0;  ///< same-thread (affine) atomics
+  std::uint64_t shm_amos = 0;    ///< same-node, cross-thread atomics
+  std::uint64_t am_amos = 0;     ///< remote, AM-handler lowering
+  std::uint64_t rdma_amos = 0;   ///< remote, NIC-offloaded verbs atomics
+  std::uint64_t cas_failures = 0;  ///< CAS ops whose compare missed
   /// Injected transient registration failures (FaultPlan::pin_fails):
   /// the target served the access but could not piggyback a base
   /// address, so the initiator's cache was not populated.

@@ -58,6 +58,19 @@ RunReport Runtime::metrics() {
   reg.set("runtime.puts.rdma", counters_.rdma_puts);
   reg.set("runtime.rdma_naks", counters_.rdma_naks);
 
+  // --- remote atomics (docs/COMM_ENGINE.md) ---
+  // Folded only when the run issued FAA/CAS, so atomics-free reports
+  // stay byte-identical to builds that predate the AMO verbs.
+  const std::uint64_t total_amos = counters_.local_amos + counters_.shm_amos +
+                                   counters_.am_amos + counters_.rdma_amos;
+  if (total_amos > 0) {
+    reg.set("comm.amo.local", counters_.local_amos);
+    reg.set("comm.amo.shm", counters_.shm_amos);
+    reg.set("comm.amo.am", counters_.am_amos);
+    reg.set("comm.amo.offloaded", counters_.rdma_amos);
+    reg.set("comm.amo.cas_failures", counters_.cas_failures);
+  }
+
   // --- address cache, pinned tables (summed over nodes) ---
   AddressCacheStats cs;
   std::uint64_t cache_entries = 0;
@@ -140,7 +153,7 @@ RunReport Runtime::metrics() {
   const net::TransportStats& ts = transport_->stats();
   ts.fold_into(reg, machine_.faults().enabled(), cfg_.coalesce.enabled(),
                cfg_.platform.kind == net::TransportKind::kIb,
-               machine_.faults().fabric_enabled());
+               machine_.faults().fabric_enabled(), total_amos > 0);
   std::uint64_t rc_hits = 0, rc_misses = 0, rc_evictions = 0;
   std::uint64_t rc_resident = 0;
   for (NodeId n = 0; n < cfg_.nodes; ++n) {

@@ -415,14 +415,6 @@ void Runtime::serve_control(NodeId target, NodeId source,
     node(target).cache->insert(
         CacheKey{pub->svd_handle, pub->origin, 0},
         net::BaseInfo{pub->base, pub->key});
-  } else if (const auto* amo = std::get_if<net::AtomicFetchAdd>(&msg)) {
-    amo_at_home(target, *amo);
-  } else if (const auto* ares = std::get_if<net::AtomicResult>(&msg)) {
-    UpcThread& waiter = *threads_.at(ares->requester);
-    if (!waiter.amo_wait_) {
-      throw std::logic_error("Runtime: atomic result with no waiter");
-    }
-    waiter.amo_wait_->set(ares->value);
   } else if (const auto* lreq = std::get_if<net::LockRequest>(&msg)) {
     lock_request_at_home(target, lreq->svd_handle, lreq->requester);
   } else if (const auto* grant = std::get_if<net::LockGrant>(&msg)) {
@@ -438,23 +430,31 @@ void Runtime::serve_control(NodeId target, NodeId source,
 
 // ===================================================== atomics =========
 
-void Runtime::amo_at_home(NodeId home_node, const net::AtomicFetchAdd& op) {
-  const Addr addr = local_translate(home_node, svd::Handle::unpack(op.svd_handle),
-                                    op.offset, sizeof(std::uint64_t));
-  Node& nd = node(home_node);
+std::uint64_t Runtime::apply_amo(NodeId n, Addr addr, OpKind kind,
+                                 std::uint64_t operand,
+                                 std::uint64_t compare) {
+  // The single read-modify-write both lowerings and the local tier share.
+  // Indivisibility comes from the caller: the local tier runs it inline
+  // on the DES (no interleaving within a call), the AM lowering under the
+  // home's handler-CPU mutual exclusion, the IB offload under the target
+  // NIC DMA engine's.
+  Node& nd = node(n);
   const auto old = nd.space->load<std::uint64_t>(addr);
-  nd.space->store<std::uint64_t>(addr, old + op.delta);
-  const NodeId req_node = op.requester / cfg_.threads_per_node;
-  if (req_node == home_node) {
-    UpcThread& waiter = *threads_.at(op.requester);
-    if (!waiter.amo_wait_) {
-      throw std::logic_error("Runtime: local atomic with no waiter");
-    }
-    waiter.amo_wait_->set(old);
-    return;
+  if (kind == OpKind::kFaa) {
+    nd.space->store<std::uint64_t>(addr, old + operand);
+  } else if (old == compare) {
+    nd.space->store<std::uint64_t>(addr, operand);
   }
-  sim_.spawn(transport_->control(net::Initiator{home_node, 0}, req_node,
-                                 net::AtomicResult{op.requester, old}));
+  return old;
+}
+
+std::uint64_t Runtime::serve_amo(NodeId target, const net::AmoRequest& req) {
+  const Addr addr =
+      local_translate(target, svd::Handle::unpack(req.svd_handle), req.offset,
+                      sizeof(std::uint64_t));
+  return apply_amo(target, addr,
+                   req.verb == net::AmoVerb::kFaa ? OpKind::kFaa : OpKind::kCas,
+                   req.operand, req.compare);
 }
 
 // ===================================================== locks ===========
@@ -822,31 +822,62 @@ Task<void> UpcThread::put2d(const ArrayDesc& a, std::uint64_t r,
       checked_op_2d(OpKind::kPut, a, r, c, nullptr, src.data(), src.size()));
 }
 
+// --- atomics: blocking wrappers + nonblocking surface ------------------
+
+CommOp UpcThread::checked_op_amo(OpKind kind, const ArrayDesc& a,
+                                 std::uint64_t elem, std::uint64_t operand,
+                                 std::uint64_t compare,
+                                 std::uint64_t* result) const {
+  const char* name = kind == OpKind::kFaa ? "fetch_add" : "compare_swap";
+  if (a.layout->elem_size() != sizeof(std::uint64_t)) {
+    throw std::invalid_argument(std::string(name) +
+                                ": element size must be 8 bytes");
+  }
+  CommOp op;
+  op.kind = kind;
+  op.array = unowned_view(a);
+  op.elem = elem;
+  op.bytes = sizeof(std::uint64_t);
+  op.operand = operand;
+  op.compare = compare;
+  op.result = result;
+  return op;
+}
+
 Task<std::uint64_t> UpcThread::fetch_add(const ArrayDesc& a,
                                          std::uint64_t elem,
                                          std::uint64_t delta) {
-  const Layout& layout = *a.layout;
-  if (layout.elem_size() != sizeof(std::uint64_t)) {
-    throw std::invalid_argument("fetch_add: element size must be 8 bytes");
-  }
-  const auto loc = layout.locate(elem);
-  const NodeId home_node = layout.node_of(loc.thread);
-  const net::AtomicFetchAdd op{a.handle.pack(), layout.node_offset(loc),
-                               delta, id_};
-  amo_wait_ = std::make_unique<sim::Future<std::uint64_t>>(rt_->sim_);
-  if (home_node == node_) {
-    // Local fast path: still serialized through the home-side handler
-    // logic, charged as a local access.
-    co_await rt_->machine_.core(node_, core_).use(
-        rt_->cfg_.platform.local_access);
-    rt_->amo_at_home(home_node, op);
-  } else {
-    co_await rt_->transport_->control(net::Initiator{node_, core_}, home_node,
-                                      op);
-  }
-  const std::uint64_t old = co_await amo_wait_->get();
-  amo_wait_.reset();
+  // Blocking wrapper = issue + inline execute, exactly like get/put; the
+  // old value lands in the frame-local slot before run_blocking returns.
+  std::uint64_t old = 0;
+  co_await completion_.run_blocking(
+      checked_op_amo(OpKind::kFaa, a, elem, delta, 0, &old));
   co_return old;
+}
+
+Task<std::uint64_t> UpcThread::compare_swap(const ArrayDesc& a,
+                                            std::uint64_t elem,
+                                            std::uint64_t expected,
+                                            std::uint64_t desired) {
+  std::uint64_t old = 0;
+  co_await completion_.run_blocking(
+      checked_op_amo(OpKind::kCas, a, elem, desired, expected, &old));
+  co_return old;
+}
+
+OpHandle UpcThread::faa_nb(const ArrayDesc& a, std::uint64_t elem,
+                           std::uint64_t delta, std::uint64_t* result) {
+  return completion_.issue(
+      checked_op_amo(OpKind::kFaa, a, elem, delta, 0, result),
+      /*deferred=*/false);
+}
+
+OpHandle UpcThread::cas_nb(const ArrayDesc& a, std::uint64_t elem,
+                           std::uint64_t expected, std::uint64_t desired,
+                           std::uint64_t* result) {
+  return completion_.issue(
+      checked_op_amo(OpKind::kCas, a, elem, desired, expected, result),
+      /*deferred=*/false);
 }
 
 Task<LockDesc> UpcThread::lock_alloc() {

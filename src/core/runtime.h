@@ -167,12 +167,26 @@ class UpcThread {
   sim::Task<void> write2d(const ArrayDesc& a, std::uint64_t r,
                           std::uint64_t c, T v);
 
-  // --- atomics ---
-  /// Atomic fetch-and-add of a 64-bit slot, executed at the element's
-  /// home node (remote atomics never race: the home's handler applies
-  /// them one at a time). Returns the value before the addition.
+  // --- atomics (docs/COMM_ENGINE.md verb table) ---
+  /// Atomic fetch-and-add of a 64-bit slot, applied indivisibly at the
+  /// element's home. Returns the value before the addition. A blocking
+  /// issue+wait through the same pipeline as faa_nb (mirroring get/put).
   sim::Task<std::uint64_t> fetch_add(const ArrayDesc& a, std::uint64_t elem,
                                      std::uint64_t delta);
+  /// Atomic compare-and-swap of a 64-bit slot: stores `desired` iff the
+  /// slot equals `expected`. Returns the value before the operation (the
+  /// swap happened iff the return equals `expected`).
+  sim::Task<std::uint64_t> compare_swap(const ArrayDesc& a, std::uint64_t elem,
+                                        std::uint64_t expected,
+                                        std::uint64_t desired);
+  /// Nonblocking fetch-and-add: the old value lands in `*result` when
+  /// the returned handle is waited. `result` must stay live until then.
+  OpHandle faa_nb(const ArrayDesc& a, std::uint64_t elem, std::uint64_t delta,
+                  std::uint64_t* result);
+  /// Nonblocking compare-and-swap, same result contract as faa_nb.
+  OpHandle cas_nb(const ArrayDesc& a, std::uint64_t elem,
+                  std::uint64_t expected, std::uint64_t desired,
+                  std::uint64_t* result);
 
   // --- locks (upc_lock) ---
   sim::Task<LockDesc> lock_alloc();
@@ -199,6 +213,9 @@ class UpcThread {
   CommOp checked_op_2d(OpKind kind, const ArrayDesc& a, std::uint64_t r,
                        std::uint64_t c, std::byte* dst, const std::byte* src,
                        std::size_t bytes) const;
+  CommOp checked_op_amo(OpKind kind, const ArrayDesc& a, std::uint64_t elem,
+                        std::uint64_t operand, std::uint64_t compare,
+                        std::uint64_t* result) const;
 
   Runtime* rt_;
   ThreadId id_;
@@ -210,8 +227,6 @@ class UpcThread {
   CompletionEngine completion_;
   // One outstanding lock wait at a time.
   std::unique_ptr<sim::Future<bool>> lock_wait_;
-  // One outstanding atomic at a time.
-  std::unique_ptr<sim::Future<std::uint64_t>> amo_wait_;
 };
 
 class Runtime final : public net::AmTarget {
@@ -301,6 +316,7 @@ class Runtime final : public net::AmTarget {
                            net::Bytes&& data) override;
   void serve_control(NodeId target, NodeId source,
                      const net::ControlMsg& msg) override;
+  std::uint64_t serve_amo(NodeId target, const net::AmoRequest& req) override;
   net::RdmaWindow rdma_memory(NodeId target, Addr addr,
                               std::size_t len) override;
 
@@ -347,9 +363,13 @@ class Runtime final : public net::AmTarget {
   void note_put_issued(UpcThread& th);
   void note_put_completed(ThreadId th);
 
+  // Atomics: apply an atomic verb to the 64-bit word at `addr` in
+  // `node`'s address space and return the old value (the single
+  // read-modify-write shared by the local tier and serve_amo).
+  std::uint64_t apply_amo(NodeId n, Addr addr, OpKind kind,
+                          std::uint64_t operand, std::uint64_t compare);
+
   // Locks.
-  // Apply a fetch-add at the home node and route the old value back.
-  void amo_at_home(NodeId home_node, const net::AtomicFetchAdd& op);
   void lock_request_at_home(NodeId home_node, std::uint64_t handle,
                             ThreadId requester);
   void lock_release_at_home(NodeId home_node, std::uint64_t handle,

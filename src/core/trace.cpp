@@ -12,6 +12,8 @@ const char* to_string(TraceOp op) {
       return "get";
     case TraceOp::kPut:
       return "put";
+    case TraceOp::kAmo:
+      return "amo";
     case TraceOp::kBarrier:
       return "barrier";
     case TraceOp::kLock:

@@ -21,7 +21,7 @@
 
 namespace xlupc::core {
 
-enum class TraceOp : std::uint8_t { kGet, kPut, kBarrier, kLock };
+enum class TraceOp : std::uint8_t { kGet, kPut, kAmo, kBarrier, kLock };
 
 /// How the access was ultimately served.
 enum class TracePath : std::uint8_t {

@@ -1,0 +1,42 @@
+#include "dis/counter.h"
+
+#include <stdexcept>
+
+#include "core/runtime.h"
+
+namespace xlupc::dis {
+
+sim::Task<DistCounter> DistCounter::create(core::UpcThread& th,
+                                           std::uint32_t stripes) {
+  if (stripes == 0) throw std::invalid_argument("DistCounter: zero stripes");
+  DistCounter c;
+  c.stripes_ = stripes;
+  // block = 1 (cyclic): stripe i homes at thread i % THREADS, spreading
+  // the slots across the nodes. Shared memory starts zeroed.
+  c.slots_ = co_await th.all_alloc(stripes, sizeof(std::uint64_t), 1);
+  co_return c;
+}
+
+std::uint64_t DistCounter::stripe_of(const core::UpcThread& th) const {
+  return th.id() % stripes_;
+}
+
+sim::Task<std::uint64_t> DistCounter::add(core::UpcThread& th,
+                                          std::uint64_t delta) {
+  co_return co_await th.fetch_add(slots_, stripe_of(th), delta);
+}
+
+core::OpHandle DistCounter::add_nb(core::UpcThread& th, std::uint64_t delta,
+                                   std::uint64_t* result) {
+  return th.faa_nb(slots_, stripe_of(th), delta, result);
+}
+
+sim::Task<std::uint64_t> DistCounter::read(core::UpcThread& th) {
+  std::uint64_t sum = 0;
+  for (std::uint32_t i = 0; i < stripes_; ++i) {
+    sum += co_await th.read<std::uint64_t>(slots_, i);
+  }
+  co_return sum;
+}
+
+}  // namespace xlupc::dis

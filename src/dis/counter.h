@@ -1,0 +1,61 @@
+// Distributed counters over the remote-atomics verbs (ROADMAP item 2).
+//
+// The first lock-free consumer of the FAA pipeline: a shared 64-bit
+// counter whose increments are remote fetch-and-adds applied at the
+// slot's home — no lock, no reader/writer protocol. Two shapes, the
+// contention tradeoff bench/atomics_sweep measures:
+//  * hot (stripes == 1): every writer FAAs the same word, so all
+//    updates serialize at one home (one handler CPU on GM/LAPI, one
+//    NIC DMA engine on IB);
+//  * striped (stripes == writers): slot i is cyclically distributed, a
+//    writer FAAs its own stripe and a read sums the stripes — writes
+//    scale with the writer count, reads pay one GET per stripe.
+#pragma once
+
+#include <cstdint>
+
+#include "core/access_path.h"
+#include "core/api.h"
+#include "sim/task.h"
+
+namespace xlupc::core {
+class UpcThread;
+}
+
+namespace xlupc::dis {
+
+/// Shared distributed counter. Construction is collective (every thread
+/// calls create with the same stripe count); each thread then operates
+/// on its own DistCounter copy.
+class DistCounter {
+ public:
+  DistCounter() = default;
+
+  /// Collective: allocate `stripes` 64-bit slots, cyclically distributed
+  /// across the threads (stripe i homes at thread i % THREADS), starting
+  /// at zero.
+  static sim::Task<DistCounter> create(core::UpcThread& th,
+                                       std::uint32_t stripes);
+
+  /// Atomically add `delta` to this thread's stripe; returns the
+  /// stripe's value before the addition (blocking FAA).
+  sim::Task<std::uint64_t> add(core::UpcThread& th, std::uint64_t delta);
+  /// Nonblocking add: the stripe's old value lands in `*result` when the
+  /// handle is waited (same contract as UpcThread::faa_nb).
+  core::OpHandle add_nb(core::UpcThread& th, std::uint64_t delta,
+                        std::uint64_t* result);
+  /// Sum of every stripe. Not an atomic snapshot across stripes — exact
+  /// only in quiescence (after a barrier), like any striped counter.
+  sim::Task<std::uint64_t> read(core::UpcThread& th);
+
+  /// The stripe this thread's add() targets.
+  std::uint64_t stripe_of(const core::UpcThread& th) const;
+  std::uint32_t stripes() const noexcept { return stripes_; }
+  const core::ArrayDesc& array() const noexcept { return slots_; }
+
+ private:
+  core::ArrayDesc slots_;
+  std::uint32_t stripes_ = 1;
+};
+
+}  // namespace xlupc::dis

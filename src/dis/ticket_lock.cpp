@@ -1,0 +1,40 @@
+#include "dis/ticket_lock.h"
+
+#include "core/runtime.h"
+
+namespace xlupc::dis {
+
+sim::Task<TicketLock> TicketLock::create(core::UpcThread& th) {
+  TicketLock lk;
+  // block = 2: both words land in thread 0's block (the lock's home).
+  // Shared memory starts zeroed, so next_ticket == now_serving == free.
+  lk.words_ = co_await th.all_alloc(2, sizeof(std::uint64_t), 2);
+  co_return lk;
+}
+
+sim::Task<void> TicketLock::acquire(core::UpcThread& th) {
+  const std::uint64_t ticket = co_await th.fetch_add(words_, kNextTicket, 1);
+  wait_rounds_ = 0;
+  for (;;) {
+    const auto serving = co_await th.read<std::uint64_t>(words_, kNowServing);
+    if (serving == ticket) co_return;
+    ++wait_rounds_;
+    co_await th.compute(backoff_);
+  }
+}
+
+sim::Task<bool> TicketLock::try_acquire(core::UpcThread& th) {
+  const auto serving = co_await th.read<std::uint64_t>(words_, kNowServing);
+  // Grab ticket `serving` only if it is still the next one handed out —
+  // i.e. the lock is free. A losing CAS changes nothing and returns the
+  // actual next_ticket, so no cleanup is needed.
+  const std::uint64_t old =
+      co_await th.compare_swap(words_, kNextTicket, serving, serving + 1);
+  co_return old == serving;
+}
+
+sim::Task<void> TicketLock::release(core::UpcThread& th) {
+  co_await th.fetch_add(words_, kNowServing, 1);
+}
+
+}  // namespace xlupc::dis

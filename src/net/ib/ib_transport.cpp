@@ -1,5 +1,6 @@
 #include "net/ib/ib_transport.h"
 
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -462,6 +463,70 @@ Task<RdmaGetResult> IbTransport::rdma_get(Initiator from, NodeId dst,
   auto result = co_await Transport::rdma_get(from, dst, raddr, len);
   qp_complete(from.node, dst);
   co_return result;
+}
+
+Task<AmoResult> IbTransport::amo(Initiator from, NodeId dst, AmoRequest req) {
+  if (req.raddr == kNullAddr) {
+    // Cold cache: no remote address to aim the NIC atomic at, so the verb
+    // rides the two-sided lowering on the progress engine (still zero
+    // application-core cycles at the target, unlike GM).
+    co_return co_await Transport::amo(from, dst, std::move(req));
+  }
+
+  // NIC-offloaded verbs atomic (fetch-and-add / compare-and-swap WQE):
+  // the target's DMA engine performs the fetch-modify-write against
+  // pinned memory — no target CPU, neither application core nor progress
+  // engine. The DMA engine's mutual exclusion is the HCA's atomicity
+  // guarantee; the request leg rides the ProtocolEngine's sequence
+  // window, so a retransmitted request can never double-apply.
+  ++stats_.amo_msgs;
+  auto& sim = machine_.simulator();
+  const auto& p = machine_.params();
+
+  co_await qp_post(from.node, dst);
+  co_await machine_.core(from.node, from.core).use(p.rdma_get_setup);
+  co_await machine_.nic_dma(from.node)
+      .use(p.dma_engine_overhead + machine_.serialize_with_header(kAmoBytes));
+  stats_.wire_bytes += p.header_bytes + kAmoBytes;
+  co_await deliver(
+      from.node, dst, &machine_.nic_dma(from.node),
+      p.dma_engine_overhead + machine_.serialize_with_header(kAmoBytes),
+      p.header_bytes + kAmoBytes);
+
+  auto& dma = machine_.nic_dma(dst);
+  co_await dma.acquire();
+  const RdmaWindow win =
+      target_.rdma_memory(dst, req.raddr, sizeof(std::uint64_t));
+  if (!win.ok()) {
+    // NAK: window not pinned. Small control frame back; the caller
+    // invalidates its cache entry and retries through the AM lowering.
+    co_await sim.delay(p.dma_engine_overhead);
+    dma.release();
+    ++stats_.rdma_naks;
+    co_await deliver(dst, from.node, &machine_.nic_dma(dst),
+                     p.dma_engine_overhead, 0);
+    co_await machine_.core(from.node, from.core).use(p.rdma_completion);
+    qp_complete(from.node, dst);
+    co_return AmoResult{win.nak, 0, /*offloaded=*/false};
+  }
+  std::uint64_t old = 0;
+  std::memcpy(&old, win.memory, sizeof(old));
+  const std::uint64_t next =
+      req.verb == AmoVerb::kFaa ? old + req.operand
+                                : (old == req.compare ? req.operand : old);
+  std::memcpy(win.memory, &next, sizeof(next));
+  ++stats_.nic_atomics;
+  co_await sim.delay(p.dma_engine_overhead +
+                     machine_.serialize_with_header(sizeof(old)));
+  dma.release();
+  stats_.wire_bytes += p.header_bytes + sizeof(old);
+  co_await deliver(
+      dst, from.node, &machine_.nic_dma(dst),
+      p.dma_engine_overhead + machine_.serialize_with_header(sizeof(old)),
+      p.header_bytes + sizeof(old));
+  co_await machine_.core(from.node, from.core).use(p.rdma_completion);
+  qp_complete(from.node, dst);
+  co_return AmoResult{RdmaNak::kNone, old, /*offloaded=*/true};
 }
 
 Task<RdmaPutResult> IbTransport::rdma_put(Initiator from, NodeId dst,

@@ -38,6 +38,13 @@ class IbTransport final : public Transport {
   sim::Task<RdmaPutResult> rdma_put(Initiator from, NodeId dst, Addr raddr,
                                     Bytes data,
                                     DoneHook on_done) override;
+  /// Remote atomic. With a cached remote address (`req.raddr`) the verb
+  /// lowers to a NIC-offloaded verbs atomic — fetch-modify-write executed
+  /// by the target's DMA engine, zero target-CPU cycles, counted in
+  /// `transport.ib.nic_atomics`. Cold-cache requests fall back to the
+  /// base AM lowering on the progress engine.
+  sim::Task<AmoResult> amo(Initiator from, NodeId dst, AmoRequest req)
+      override;
 
   /// Test introspection: the initiator-side completion queue of `node`.
   const ib::CompletionQueue& completion_queue(NodeId node) const {

@@ -140,19 +140,33 @@ struct SvdBasePublish {
   RdmaKey key = 0;
 };
 
-/// Atomic fetch-and-add executed at the data's home node (an extension
-/// in the spirit of upc_amo): the home applies the update under its
-/// single-writer discipline and returns the previous value.
-struct AtomicFetchAdd {
+// --- atomic memory operations (docs/COMM_ENGINE.md verb table) ---
+
+/// The two remote atomic verbs. Both fetch the 64-bit word at the
+/// target, then FAA stores `old + operand` while CAS stores `operand`
+/// only if the word equalled `compare`; the old value travels back
+/// either way.
+enum class AmoVerb : std::uint8_t { kFaa, kCas };
+
+/// The single AMO wire request, shared by both lowerings: the GM/LAPI
+/// AM-handler path translates svd_handle+offset on the home CPU, the IB
+/// NIC-offload path uses the initiator's cached remote address instead.
+/// Rides ProtocolEngine seqno/ACK, so a retransmitted or duplicated
+/// request is applied exactly once.
+struct AmoRequest {
+  AmoVerb verb = AmoVerb::kFaa;
   std::uint64_t svd_handle = 0;
-  std::uint64_t offset = 0;  ///< byte offset within the home's piece
-  std::uint64_t delta = 0;
-  ThreadId requester = 0;
+  std::uint64_t offset = 0;   ///< byte offset within the home's piece
+  std::uint64_t operand = 0;  ///< FAA delta / CAS desired value
+  std::uint64_t compare = 0;  ///< CAS expected value
+  std::uint32_t target_core = 0;  ///< core owning the data's UPC thread
+  /// Initiator-side only (not on the wire): cached remote address of the
+  /// word, set on an address-cache hit to enable the offloaded lowering.
+  Addr raddr = kNullAddr;
 };
-struct AtomicResult {
-  ThreadId requester = 0;
-  std::uint64_t value = 0;  ///< value before the update
-};
+
+/// Wire size of an AMO request (verb + handle + offset + two operands).
+inline constexpr std::size_t kAmoBytes = 40;
 
 /// upc_lock / upc_unlock protocol messages, serviced at the lock's home.
 struct LockRequest {
@@ -171,8 +185,8 @@ struct LockRelease {
 };
 
 using ControlMsg =
-    std::variant<SvdAllocNotice, SvdFreeNotice, SvdBasePublish, AtomicFetchAdd,
-                 AtomicResult, LockRequest, LockGrant, LockRelease>;
+    std::variant<SvdAllocNotice, SvdFreeNotice, SvdBasePublish, LockRequest,
+                 LockGrant, LockRelease>;
 
 /// Wire size of a control message (fixed small AM).
 inline constexpr std::size_t kControlBytes = 32;

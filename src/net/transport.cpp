@@ -83,10 +83,17 @@ AmTarget::BatchServe AmTarget::serve_batch(NodeId target, RdmaBatch&& batch) {
   return out;
 }
 
+std::uint64_t AmTarget::serve_amo(NodeId /*target*/, const AmoRequest& /*req*/) {
+  // Only targets that actually serve atomics (the runtime) override
+  // this; reaching the default is a wiring bug, not a runtime event.
+  throw std::logic_error("AmTarget::serve_amo: target does not serve atomics");
+}
+
 void TransportStats::fold_into(sim::MetricsRegistry& reg, bool faults_enabled,
                                bool coalescing_enabled,
                                bool ib_enabled,
-                               bool fabric_enabled) const {
+                               bool fabric_enabled,
+                               bool amo_enabled) const {
   reg.set("transport.gets.eager", am_gets);
   reg.set("transport.gets.rendezvous", rendezvous_gets);
   reg.set("transport.puts.eager", am_puts);
@@ -102,6 +109,12 @@ void TransportStats::fold_into(sim::MetricsRegistry& reg, bool faults_enabled,
     reg.set("transport.batch_msgs", batch_msgs);
     reg.set("transport.batched_gets", batched_gets);
     reg.set("transport.batched_puts", batched_puts);
+  }
+  // Folded only when the run issued atomics, so atomics-free reports
+  // stay byte-identical to builds that predate the AMO verbs.
+  if (amo_enabled) {
+    reg.set("transport.amos", amo_msgs);
+    if (ib_enabled) reg.set("transport.ib.nic_atomics", nic_atomics);
   }
   // Folded only for the IB transport, so GM/LAPI reports stay
   // byte-identical to builds that predate the verbs backend.
@@ -550,6 +563,50 @@ Task<void> Transport::control(Initiator from, NodeId dst, ControlMsg msg) {
   auto& hcpu = handler_cpu(dst, 0);
   co_await hcpu.use(scaled(dst, p.recv_overhead));
   target_.serve_control(dst, from.node, msg);
+}
+
+// ------------------------------------------------------------ atomics ---
+
+Task<AmoResult> Transport::amo(Initiator from, NodeId dst, AmoRequest req) {
+  // AM-handler lowering (GM/LAPI and the IB cold-cache fallback): a
+  // small request AM serviced on the handler CPU at the home node. The
+  // handler CPU's mutual exclusion is what makes the read-modify-write
+  // indivisible, and because the handler only runs after deliver() has
+  // accepted the leg — the ProtocolEngine's sequence window suppresses
+  // duplicated or retransmitted copies first — a FAA applies exactly
+  // once however many times its request crosses the wire.
+  ++stats_.amo_msgs;
+  auto& sim = machine_.simulator();
+  const auto& p = machine_.params();
+
+  co_await machine_.core(from.node, from.core).use(p.send_overhead);
+  co_await machine_.nic_tx(from.node)
+      .use(p.nic_tx_overhead + machine_.serialize_with_header(kAmoBytes));
+  stats_.wire_bytes += p.header_bytes + kAmoBytes;
+  co_await deliver(
+      from.node, dst, &machine_.nic_tx(from.node),
+      p.nic_tx_overhead + machine_.serialize_with_header(kAmoBytes),
+      p.header_bytes + kAmoBytes);
+
+  // Home node: translate the handle and apply the verb on the handler
+  // CPU — serialized against every other AM, so concurrent atomics from
+  // any number of initiators linearize here.
+  auto& hcpu = handler_cpu(dst, req.target_core);
+  co_await hcpu.acquire();
+  co_await sim.delay(scaled(dst, p.recv_overhead + p.svd_lookup));
+  const std::uint64_t old = target_.serve_amo(dst, req);
+  hcpu.release();
+
+  // Reply carrying the old value.
+  co_await machine_.nic_tx(dst).use(
+      p.nic_tx_overhead + machine_.serialize_with_header(sizeof(old)));
+  stats_.wire_bytes += p.header_bytes + sizeof(old);
+  co_await deliver(
+      dst, from.node, &machine_.nic_tx(dst),
+      p.nic_tx_overhead + machine_.serialize_with_header(sizeof(old)),
+      p.header_bytes + sizeof(old));
+  co_await machine_.core(from.node, from.core).use(p.recv_overhead);
+  co_return AmoResult{RdmaNak::kNone, old, /*offloaded=*/false};
 }
 
 // -------------------------------------------------- aggregated batches ---

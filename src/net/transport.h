@@ -100,6 +100,20 @@ struct RdmaPutResult {
   bool ok() const noexcept { return nak == RdmaNak::kNone; }
 };
 
+/// Outcome of a remote atomic (FAA/CAS): the fetched old value, or the
+/// NAK reason when the offloaded lowering found the window unpinned (the
+/// caller invalidates its cache entry and retries through the AM
+/// lowering, mirroring the rdma_get fallback).
+struct AmoResult {
+  RdmaNak nak = RdmaNak::kNone;
+  std::uint64_t value = 0;  ///< word value before the update
+  /// True when the update was applied by the NIC DMA engine alone (IB
+  /// verbs atomics) — zero target-CPU cycles, traced as kRdmaOffload.
+  bool offloaded = false;
+
+  bool ok() const noexcept { return nak == RdmaNak::kNone; }
+};
+
 /// Target-side services, implemented by the runtime. Handlers are invoked
 /// by the transport *after* it has acquired the proper handler CPU and
 /// charged dispatch time; any registration work they report is charged on
@@ -140,6 +154,12 @@ class AmTarget {
   virtual BatchServe serve_batch(NodeId target, RdmaBatch&& batch);
   virtual void serve_control(NodeId target, NodeId source,
                              const ControlMsg& msg) = 0;
+
+  /// Apply an atomic verb to the 64-bit word at svd_handle+offset under
+  /// the handler CPU's serialization (the transport has already acquired
+  /// it) and return the old value. The default implementation throws —
+  /// only targets that serve atomics (the runtime) override it.
+  virtual std::uint64_t serve_amo(NodeId target, const AmoRequest& req);
 
   /// Translate + pin for a rendezvous PUT without moving data yet.
   virtual PutServe serve_put_rendezvous(NodeId target, const PutRequest& req,
@@ -192,6 +212,12 @@ struct TransportStats {
   std::uint64_t nic_stall_waits = 0;  ///< injections delayed by a stall
   std::uint64_t bounce_fallbacks = 0; ///< transfers staged via bounce bufs
 
+  // Remote atomics (docs/COMM_ENGINE.md). All zero unless the workload
+  // issues FAA/CAS; folded into the registry only then (`amo_enabled`),
+  // so atomics-free reports stay byte-identical to pre-AMO builds.
+  std::uint64_t amo_msgs = 0;     ///< AMO requests sent on the wire
+  std::uint64_t nic_atomics = 0;  ///< AMOs applied by the NIC DMA engine
+
   // Verbs queue-pair layer (src/net/ib). All zero on GM/LAPI; folded
   // into the registry only for the IB transport, so GM/LAPI reports
   // stay byte-identical to pre-IB builds.
@@ -219,11 +245,14 @@ struct TransportStats {
   /// `ib_enabled`, the `transport.ib.*` queue-pair family; when
   /// `fabric_enabled`, the `fault.fabric.*` recovery family). The single
   /// fold point is what keeps the struct and the registry from drifting;
-  /// metrics_test additionally asserts field-by-field equality.
+  /// metrics_test additionally asserts field-by-field equality. When
+  /// `amo_enabled` (the run issued atomics), the `transport.amos` /
+  /// `transport.ib.nic_atomics` family joins them.
   void fold_into(sim::MetricsRegistry& reg, bool faults_enabled,
                  bool coalescing_enabled = false,
                  bool ib_enabled = false,
-                 bool fabric_enabled = false) const;
+                 bool fabric_enabled = false,
+                 bool amo_enabled = false) const;
 };
 
 /// Identifies the initiating UPC thread's seat in the machine.
@@ -272,6 +301,16 @@ class Transport {
                                             Addr raddr,
                                             Bytes data,
                                             DoneHook on_done);
+
+  /// Remote atomic (FAA/CAS) on the 64-bit word at svd_handle+offset.
+  /// The base implementation is the AM-handler lowering shared by
+  /// GM/LAPI: a small request AM serviced on the handler CPU (whose
+  /// serialization provides atomicity), riding the ProtocolEngine's
+  /// seqno/ACK window so duplicated or retransmitted requests apply
+  /// exactly once. The IB transport overrides it with NIC-offloaded
+  /// verbs atomics when `req.raddr` carries a cached remote address.
+  /// Completes when the old value is available at the initiator.
+  virtual sim::Task<AmoResult> amo(Initiator from, NodeId dst, AmoRequest req);
 
   /// Aggregated small-op batch (docs/COALESCING.md): one framed wire
   /// message carrying every member, unpacked per leg on the handler CPU

@@ -1,0 +1,389 @@
+// Tests for the extensible-op pipeline refactor (docs/COMM_ENGINE.md):
+// FAA/CAS riding the same tiered issue/wait machinery as GET/PUT —
+// overlapping nonblocking AMOs from one thread (the old single-slot
+// amo_wait_ regression), blocking == issue+wait equivalence on all three
+// machines, apply-once under seeded drop/duplicate fault plans, CAS
+// failure-path semantics, typed kPeerFailed against a crashed home, the
+// IB NIC-offload tier, report-key gating, and the first lock-free
+// consumers (dis::DistCounter, dis::TicketLock).
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "benchsupport/report.h"
+#include "core/runtime.h"
+#include "dis/counter.h"
+#include "dis/ticket_lock.h"
+#include "net/machine_registry.h"
+
+namespace xlupc::core {
+namespace {
+
+using sim::Task;
+
+RuntimeConfig config(const std::string& machine, std::uint32_t nodes,
+                     std::uint32_t tpn) {
+  RuntimeConfig cfg;
+  cfg.platform = net::make_machine(machine);
+  cfg.nodes = nodes;
+  cfg.threads_per_node = tpn;
+  return cfg;
+}
+
+// ------------------------------------------- overlap regression ---------
+
+TEST(AmoPipeline, OverlappingFaasFromOneThreadKeepDistinctResults) {
+  // Two nonblocking FAAs in flight from the same thread before either is
+  // waited. The pre-refactor runtime parked every AMO reply in a single
+  // per-thread slot (amo_wait_), so the second issue clobbered the
+  // first's future; generation-checked OpHandles must keep both.
+  Runtime rt(config("gm", 2, 1));
+  std::uint64_t r1 = 99, r2 = 99, final_v = 0;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      OpHandle h1 = th.faa_nb(a, 8, 5, &r1);  // element 8 homes on node 1
+      OpHandle h2 = th.faa_nb(a, 8, 3, &r2);
+      co_await th.wait(h1);
+      co_await th.wait(h2);
+      final_v = co_await th.read<std::uint64_t>(a, 8);
+    }
+    co_await th.barrier();
+  });
+  EXPECT_EQ(final_v, 8u);  // both adds applied
+  // Whatever order the home serialized them in, the old values are
+  // distinct points of one atomic history: (0,5) or (3,0).
+  EXPECT_TRUE((r1 == 0 && r2 == 5) || (r1 == 3 && r2 == 0))
+      << "r1=" << r1 << " r2=" << r2;
+}
+
+// ------------------------------- blocking == issue+wait equivalence -----
+
+TEST(AmoPipeline, BlockingEqualsIssuePlusWaitOnEveryMachine) {
+  // fetch_add/compare_swap are built as issue+wait through the same
+  // pipeline as faa_nb/cas_nb (mirroring get/put): same values, same
+  // simulated time, on gm, lapi and ib.
+  for (const std::string machine : {"gm", "lapi", "ib"}) {
+    auto run_once = [&machine](bool nonblocking) {
+      Runtime rt(config(machine, 2, 1));
+      std::vector<std::uint64_t> olds;
+      rt.run([&](UpcThread& th) -> Task<void> {
+        auto a = co_await th.all_alloc(16, 8, 8);
+        co_await th.barrier();
+        if (th.id() == 0) {
+          for (std::uint64_t i = 0; i < 4; ++i) {
+            std::uint64_t old = 0;
+            if (nonblocking) {
+              co_await th.wait(th.faa_nb(a, 8, i + 1, &old));
+            } else {
+              old = co_await th.fetch_add(a, 8, i + 1);
+            }
+            olds.push_back(old);
+            if (nonblocking) {
+              co_await th.wait(th.cas_nb(a, 9, old, old + 1, &old));
+            } else {
+              old = co_await th.compare_swap(a, 9, old, old + 1);
+            }
+          }
+        }
+        co_await th.barrier();
+      });
+      return std::pair(olds, rt.elapsed());
+    };
+    const auto blocking = run_once(false);
+    const auto issue_wait = run_once(true);
+    EXPECT_EQ(blocking.first, issue_wait.first) << machine;
+    EXPECT_EQ(blocking.second, issue_wait.second) << machine;
+  }
+}
+
+// ----------------------------------- apply-once under message faults ----
+
+TEST(AmoPipeline, FaaAppliesOnceUnderDropAndDuplicate) {
+  // Drops force retransmission of the AMO request/reply legs and every
+  // recovered loss resurfaces as a late duplicate; the home must apply
+  // each FAA exactly once (the handler runs only after the protocol
+  // engine's seqno filter accepts the leg).
+  RuntimeConfig cfg = config("gm", 4, 1);
+  cfg.faults.seed = 7;
+  cfg.faults.drop_prob = 0.2;
+  cfg.faults.dup_prob = 0.5;
+  Runtime rt(std::move(cfg));
+  constexpr std::uint64_t kAdds = 12;
+  std::uint64_t final_v = 0;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(4, 8, 1);  // slot 0 homes on thread 0
+    co_await th.barrier();
+    for (std::uint64_t i = 0; i < kAdds; ++i) {
+      (void)co_await th.fetch_add(a, 0, 1);
+    }
+    co_await th.barrier();
+    if (th.id() == 0) final_v = co_await th.read<std::uint64_t>(a, 0);
+    co_await th.barrier();
+  });
+  EXPECT_EQ(final_v, kAdds * rt.threads());
+  const RunReport r = rt.metrics();
+  EXPECT_GT(r.counter("reliability.retransmits"), 0u);  // faults did fire
+  EXPECT_GT(r.counter("fault.duplicate_msgs"), 0u);
+}
+
+// --------------------------------------------------- CAS semantics ------
+
+TEST(AmoPipeline, CasFailurePathReturnsOldAndLeavesWordUntouched) {
+  Runtime rt(config("gm", 2, 1));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      // Remote word (element 8): successful swap, then a compare miss.
+      EXPECT_EQ(co_await th.compare_swap(a, 8, 0, 42), 0u);
+      EXPECT_EQ(co_await th.read<std::uint64_t>(a, 8), 42u);
+      EXPECT_EQ(co_await th.compare_swap(a, 8, 0, 7), 42u);  // miss
+      EXPECT_EQ(co_await th.read<std::uint64_t>(a, 8), 42u);  // untouched
+      // Local word (element 0): same contract on the affine tier.
+      EXPECT_EQ(co_await th.compare_swap(a, 0, 1, 9), 0u);  // miss
+      EXPECT_EQ(co_await th.read<std::uint64_t>(a, 0), 0u);
+      EXPECT_EQ(co_await th.compare_swap(a, 0, 0, 9), 0u);  // swap
+      EXPECT_EQ(co_await th.read<std::uint64_t>(a, 0), 9u);
+    }
+    co_await th.barrier();
+  });
+  EXPECT_EQ(rt.counters().cas_failures, 2u);
+  EXPECT_EQ(rt.metrics().counter("comm.amo.cas_failures"), 2u);
+}
+
+// ------------------------------------------ crash-stop typed errors -----
+
+TEST(AmoPipeline, AmoAgainstCrashedHomeSurfacesPeerFailed) {
+  // Node 3 crash-stops while thread 0 keeps issuing FAAs against a word
+  // homed there. Early rounds may burn the retransmission budget
+  // (kTimeout); once the detector declares the corpse the circuit
+  // breaker refuses the op up front as kPeerFailed — never a hang.
+  RuntimeConfig cfg = config("gm", 4, 1);
+  cfg.faults.seed = 13;
+  cfg.faults.crashes = {{3, sim::us(800.0)}};
+  Runtime rt(std::move(cfg));
+  std::vector<OpStatus> statuses;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(4, 8, 1);  // slot 3 homes on thread 3
+    co_await th.barrier();  // before the crash: the only barrier
+    if (th.id() != 0) co_return;
+    std::uint64_t old = 0;
+    for (int round = 0; round < 24; ++round) {
+      OpHandle h = th.faa_nb(a, 3, 1, &old);
+      statuses.push_back(co_await th.wait_status(h));
+      co_await th.compute(sim::us(100.0));
+    }
+  });
+  bool saw_peer_failed = false;
+  for (const OpStatus st : statuses) {
+    if (st == OpStatus::kPeerFailed) saw_peer_failed = true;
+  }
+  EXPECT_TRUE(saw_peer_failed);
+  EXPECT_TRUE(rt.peer_failed(3));
+  EXPECT_GT(rt.metrics().counter("fault.breaker.fast_fails"), 0u);
+}
+
+// ----------------------------------------------- tier accounting --------
+
+TEST(AmoPipeline, IbOffloadsWarmCacheAmosToTheNic) {
+  Runtime rt(config("ib", 2, 1));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      th.runtime().warm_address_cache(a);
+      for (int i = 0; i < 8; ++i) (void)co_await th.fetch_add(a, 8, 1);
+    }
+    co_await th.barrier();
+  });
+  EXPECT_EQ(rt.counters().rdma_amos, 8u);
+  EXPECT_EQ(rt.counters().am_amos, 0u);
+  const RunReport r = rt.metrics();
+  EXPECT_EQ(r.counter("comm.amo.offloaded"), 8u);
+  EXPECT_EQ(r.counter("transport.ib.nic_atomics"), 8u);
+}
+
+TEST(AmoPipeline, GmLowersRemoteAmosToAmHandlers) {
+  Runtime rt(config("gm", 2, 1));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      th.runtime().warm_address_cache(a);  // gm still cannot offload AMOs
+      for (int i = 0; i < 8; ++i) (void)co_await th.fetch_add(a, 8, 1);
+    }
+    co_await th.barrier();
+  });
+  EXPECT_EQ(rt.counters().am_amos, 8u);
+  EXPECT_EQ(rt.counters().rdma_amos, 0u);
+  EXPECT_EQ(rt.metrics().counter("comm.amo.am"), 8u);
+}
+
+TEST(AmoPipeline, AmosCountInCommIssuedAndHwm) {
+  Runtime rt(config("lapi", 2, 1));
+  std::uint64_t hwm = 0, issued = 0;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      std::uint64_t r1 = 0, r2 = 0;
+      OpHandle h1 = th.faa_nb(a, 8, 1, &r1);
+      OpHandle h2 = th.faa_nb(a, 9, 1, &r2);
+      co_await th.wait(h1);
+      co_await th.wait(h2);
+      issued = th.comm_stats().issued;
+      hwm = th.comm_stats().outstanding_hwm;
+    }
+    co_await th.barrier();
+  });
+  EXPECT_EQ(issued, 2u);
+  EXPECT_EQ(hwm, 2u);
+}
+
+TEST(AmoReport, AtomicsFreeRunCarriesNoAmoKeys) {
+  // The comm.amo.* / transport.amos keys are folded only when the run
+  // issued FAA/CAS: a pure GET/PUT report must not change by a byte.
+  Runtime rt(config("ib", 2, 1));
+  rt.run([&](UpcThread& th) -> Task<void> {
+    auto a = co_await th.all_alloc(16, 8, 8);
+    co_await th.barrier();
+    if (th.id() == 0) {
+      co_await th.write<std::uint64_t>(a, 8, 1);
+      (void)co_await th.read<std::uint64_t>(a, 8);
+    }
+    co_await th.barrier();
+  });
+  const std::string json = bench::to_json(rt.metrics()).dump_string();
+  EXPECT_EQ(json.find("comm.amo"), std::string::npos);
+  EXPECT_EQ(json.find("transport.amos"), std::string::npos);
+  EXPECT_EQ(json.find("nic_atomics"), std::string::npos);
+}
+
+// ------------------------------------------- lock-free consumers --------
+
+TEST(DisConsumers, DistCounterHotAndStripedAgree) {
+  Runtime rt(config("gm", 4, 1));
+  constexpr std::uint64_t kAdds = 10;
+  std::uint64_t hot_total = 0, striped_total = 0;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    dis::DistCounter hot = co_await dis::DistCounter::create(th, 1);
+    dis::DistCounter striped =
+        co_await dis::DistCounter::create(th, th.runtime().threads());
+    co_await th.barrier();
+    for (std::uint64_t i = 0; i < kAdds; ++i) {
+      (void)co_await hot.add(th, 1);
+      (void)co_await striped.add(th, 1);
+    }
+    co_await th.barrier();
+    if (th.id() == 0) {
+      hot_total = co_await hot.read(th);
+      striped_total = co_await striped.read(th);
+    }
+    co_await th.barrier();
+  });
+  EXPECT_EQ(hot_total, kAdds * rt.threads());
+  EXPECT_EQ(striped_total, kAdds * rt.threads());
+  // One stripe per thread makes every striped add affine.
+  EXPECT_GE(rt.counters().local_amos, kAdds * rt.threads());
+}
+
+TEST(DisConsumers, DistCounterPipelinedAddsRetireIndependently) {
+  Runtime rt(config("ib", 2, 1));
+  std::uint64_t total = 0;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    dis::DistCounter c = co_await dis::DistCounter::create(th, 1);
+    co_await th.barrier();
+    if (th.id() == 1) {
+      std::vector<std::uint64_t> olds(6, 0);
+      std::vector<OpHandle> win;
+      for (std::size_t i = 0; i < olds.size(); ++i) {
+        win.push_back(c.add_nb(th, 1, &olds[i]));
+      }
+      for (OpHandle h : win) co_await th.wait(h);
+      // Six +1s against one word: the old values are 0..5 in some order.
+      std::uint64_t sum = 0;
+      for (std::uint64_t v : olds) sum += v;
+      EXPECT_EQ(sum, 15u);
+    }
+    co_await th.barrier();
+    if (th.id() == 0) total = co_await c.read(th);
+    co_await th.barrier();
+  });
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(DisConsumers, TicketLockMutualExclusionUnderContention) {
+  // Non-atomic read-modify-write under the lock: any mutual-exclusion
+  // failure or FCFS violation loses increments.
+  Runtime rt(config("lapi", 4, 1));
+  constexpr std::uint64_t kRounds = 5;
+  std::uint64_t final_v = 0;
+  std::uint64_t max_wait = 0;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    dis::TicketLock lk = co_await dis::TicketLock::create(th);
+    auto data = co_await th.all_alloc(4, 8, 4);
+    co_await th.barrier();
+    for (std::uint64_t i = 0; i < kRounds; ++i) {
+      co_await lk.acquire(th);
+      const auto v = co_await th.read<std::uint64_t>(data, 0);
+      co_await th.compute(sim::us(1.0));
+      co_await th.write<std::uint64_t>(data, 0, v + 1);
+      co_await th.fence();  // publish before handing the lock over
+      co_await lk.release(th);
+      max_wait = std::max(max_wait, lk.last_wait_rounds());
+    }
+    co_await th.barrier();
+    if (th.id() == 0) final_v = co_await th.read<std::uint64_t>(data, 0);
+    co_await th.barrier();
+  });
+  EXPECT_EQ(final_v, kRounds * rt.threads());
+  EXPECT_GT(max_wait, 0u);  // somebody actually spun behind a ticket
+}
+
+TEST(DisConsumers, TicketLockTryAcquireUsesCasFailurePath) {
+  Runtime rt(config("gm", 2, 1));
+  bool holder_got = false, contender_failed = true, after_release = false;
+  rt.run([&](UpcThread& th) -> Task<void> {
+    dis::TicketLock lk = co_await dis::TicketLock::create(th);
+    co_await th.barrier();
+    if (th.id() == 0) holder_got = co_await lk.try_acquire(th);
+    co_await th.barrier();
+    if (th.id() == 1) contender_failed = !(co_await lk.try_acquire(th));
+    co_await th.barrier();
+    if (th.id() == 0) co_await lk.release(th);
+    co_await th.barrier();
+    if (th.id() == 1) {
+      after_release = co_await lk.try_acquire(th);
+      if (after_release) co_await lk.release(th);
+    }
+    co_await th.barrier();
+  });
+  EXPECT_TRUE(holder_got);
+  EXPECT_TRUE(contender_failed);
+  EXPECT_TRUE(after_release);
+  // The contender's losing CAS is the failure path of the verb.
+  EXPECT_GE(rt.counters().cas_failures, 1u);
+}
+
+TEST(AmoPipeline, SameSeedAtomicsRunIsByteIdentical) {
+  auto run_once = [] {
+    Runtime rt(config("ib", 3, 1));
+    rt.run([&](UpcThread& th) -> Task<void> {
+      dis::DistCounter c = co_await dis::DistCounter::create(th, 1);
+      co_await th.barrier();
+      if (th.id() == 0) th.runtime().warm_address_cache(c.array());
+      co_await th.barrier();
+      for (int i = 0; i < 6; ++i) (void)co_await c.add(th, 1);
+      co_await th.barrier();
+    });
+    return bench::to_json(rt.metrics()).dump_string();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace xlupc::core

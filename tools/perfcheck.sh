@@ -39,7 +39,25 @@ if ! command -v python3 >/dev/null 2>&1; then
 fi
 
 fresh=$(mktemp)
-trap 'rm -f "$fresh"' EXIT
+fresh_amo=$(mktemp)
+trap 'rm -f "$fresh" "$fresh_amo"' EXIT
+
+# Remote-atomics golden (docs/COMM_ENGINE.md verb table): the committed
+# BENCH_atomics_sweep.json must replay byte-for-byte. The sweep is pure
+# simulation, so any diff means the FAA/CAS pipeline's behaviour changed
+# — regenerate the golden deliberately and review the diff.
+committed_amo="$repo_root/BENCH_atomics_sweep.json"
+[ -f "$committed_amo" ] || {
+  echo "perfcheck: missing $committed_amo" >&2
+  exit 1
+}
+"$build"/bench/atomics_sweep --seed 1 --json "$fresh_amo" > /dev/null
+if ! cmp -s "$committed_amo" "$fresh_amo"; then
+  echo "perfcheck: atomics_sweep drifted from the committed golden:" >&2
+  diff "$committed_amo" "$fresh_amo" >&2 || true
+  exit 1
+fi
+echo "perfcheck: atomics_sweep matches the committed golden"
 
 "$build"/bench/simspeed --mode compare --scale-probe --json "$fresh"
 
