@@ -372,6 +372,17 @@ Task<void> CompletionEngine::run_blocking(CommOp op) {
   return rt_.path_.execute(th_, std::move(op));
 }
 
+Task<OpStatus> CompletionEngine::run_blocking_status(CommOp op) {
+  try {
+    co_await run_blocking(std::move(op));
+  } catch (const net::PeerDeadError&) {
+    co_return OpStatus::kPeerFailed;
+  } catch (const net::TransportTimeout&) {
+    co_return OpStatus::kTimeout;
+  }
+  co_return OpStatus::kOk;
+}
+
 // ========================================== coalescing eligibility ====
 
 std::optional<NodeId> AccessPath::remote_dest(const UpcThread& th,

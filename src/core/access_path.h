@@ -184,6 +184,13 @@ class CompletionEngine {
   /// byte-identical — but two coroutine frames cheaper per access.
   sim::Task<void> run_blocking(CommOp op);
 
+  /// run_blocking with the typed-status contract (docs/FAULTS.md):
+  /// PeerDeadError maps to OpStatus::kPeerFailed and TransportTimeout to
+  /// kTimeout instead of propagating; other exceptions still throw. The
+  /// error-free path is the same inline execution as run_blocking, so
+  /// fault-free timings are unchanged.
+  sim::Task<OpStatus> run_blocking_status(CommOp op);
+
   /// Complete the op behind `h`: execute it inline if deferred, suspend
   /// until the runner finishes if async (rethrowing any error it hit).
   /// Retires the slot; waiting on a spent or invalid handle is a no-op.

@@ -784,6 +784,37 @@ bool UpcThread::crashed() const {
   return rt_->machine_.faults().node_crashed(node_, rt_->sim_.now());
 }
 
+// --- typed-status blocking surface -------------------------------------
+
+Task<OpStatus> UpcThread::get_status(const ArrayDesc& a, std::uint64_t elem,
+                                     std::span<std::byte> dst) {
+  return completion_.run_blocking_status(
+      checked_op_1d(OpKind::kGet, a, elem, dst.data(), nullptr, dst.size()));
+}
+
+Task<OpStatus> UpcThread::put_status(const ArrayDesc& a, std::uint64_t elem,
+                                     std::span<const std::byte> src) {
+  return completion_.run_blocking_status(
+      checked_op_1d(OpKind::kPut, a, elem, nullptr, src.data(), src.size()));
+}
+
+Task<OpStatus> UpcThread::fetch_add_status(const ArrayDesc& a,
+                                           std::uint64_t elem,
+                                           std::uint64_t delta,
+                                           std::uint64_t* result) {
+  return completion_.run_blocking_status(
+      checked_op_amo(OpKind::kFaa, a, elem, delta, 0, result));
+}
+
+Task<OpStatus> UpcThread::compare_swap_status(const ArrayDesc& a,
+                                              std::uint64_t elem,
+                                              std::uint64_t expected,
+                                              std::uint64_t desired,
+                                              std::uint64_t* result) {
+  return completion_.run_blocking_status(
+      checked_op_amo(OpKind::kCas, a, elem, desired, expected, result));
+}
+
 Task<void> UpcThread::memcpy_shared(const ArrayDesc& dst,
                                     std::uint64_t dst_elem,
                                     const ArrayDesc& src,

@@ -133,6 +133,33 @@ class UpcThread {
   /// plan. Chaos workloads poll this and retire the thread; a crashed
   /// thread must not issue further operations or enter barriers.
   bool crashed() const;
+
+  // --- typed-status blocking surface (docs/FAULTS.md) ---
+  // Blocking issue + inline execute like get/put/fetch_add, but errors
+  // from a dead peer come back as OpStatus::kPeerFailed and an exhausted
+  // retransmission budget as kTimeout instead of as exceptions — the
+  // contract serving workloads (dis::KvStore, dis::TicketLock) use to
+  // route around failures without try/catch at every access. Fault-free
+  // timings are identical to the throwing wrappers.
+  sim::Task<OpStatus> get_status(const ArrayDesc& a, std::uint64_t elem,
+                                 std::span<std::byte> dst);
+  sim::Task<OpStatus> put_status(const ArrayDesc& a, std::uint64_t elem,
+                                 std::span<const std::byte> src);
+  /// fetch_add with the typed-status contract; the old value lands in
+  /// `*result` only when the returned status is kOk.
+  sim::Task<OpStatus> fetch_add_status(const ArrayDesc& a, std::uint64_t elem,
+                                       std::uint64_t delta,
+                                       std::uint64_t* result);
+  /// compare_swap with the typed-status contract (same result contract).
+  sim::Task<OpStatus> compare_swap_status(const ArrayDesc& a,
+                                          std::uint64_t elem,
+                                          std::uint64_t expected,
+                                          std::uint64_t desired,
+                                          std::uint64_t* result);
+  template <class T>
+  sim::Task<OpStatus> read_status(const ArrayDesc& a, std::uint64_t i, T* out);
+  template <class T>
+  sim::Task<OpStatus> write_status(const ArrayDesc& a, std::uint64_t i, T v);
   /// Async ops currently in flight (issued, not yet done).
   std::uint64_t outstanding() const noexcept {
     return completion_.outstanding();
@@ -426,6 +453,18 @@ template <class T>
 sim::Task<T> UpcThread::read_strict(const ArrayDesc& a, std::uint64_t i) {
   co_await fence();
   co_return co_await read<T>(a, i);
+}
+
+template <class T>
+sim::Task<OpStatus> UpcThread::read_status(const ArrayDesc& a,
+                                           std::uint64_t i, T* out) {
+  return get_status(a, i, std::as_writable_bytes(std::span(out, 1)));
+}
+
+template <class T>
+sim::Task<OpStatus> UpcThread::write_status(const ArrayDesc& a,
+                                            std::uint64_t i, T v) {
+  co_return co_await put_status(a, i, std::as_bytes(std::span(&v, 1)));
 }
 
 template <class T>

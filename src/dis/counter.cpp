@@ -39,4 +39,28 @@ sim::Task<std::uint64_t> DistCounter::read(core::UpcThread& th) {
   co_return sum;
 }
 
+sim::Task<core::OpStatus> DistCounter::add_status(core::UpcThread& th,
+                                                  std::uint64_t delta,
+                                                  std::uint64_t* result) {
+  co_return co_await th.fetch_add_status(slots_, stripe_of(th), delta, result);
+}
+
+sim::Task<core::OpStatus> DistCounter::read_status(core::UpcThread& th,
+                                                   std::uint64_t* sum) {
+  std::uint64_t total = 0;
+  core::OpStatus worst = core::OpStatus::kOk;
+  for (std::uint32_t i = 0; i < stripes_; ++i) {
+    std::uint64_t v = 0;
+    const core::OpStatus st =
+        co_await th.read_status<std::uint64_t>(slots_, i, &v);
+    if (st == core::OpStatus::kOk) {
+      total += v;
+    } else if (st > worst) {
+      worst = st;
+    }
+  }
+  *sum = total;
+  co_return worst;
+}
+
 }  // namespace xlupc::dis

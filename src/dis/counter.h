@@ -44,9 +44,21 @@ class DistCounter {
   /// handle is waited (same contract as UpcThread::faa_nb).
   core::OpHandle add_nb(core::UpcThread& th, std::uint64_t delta,
                         std::uint64_t* result);
+  /// add() with the typed-status contract (docs/FAULTS.md): a stripe
+  /// homed on a crashed node comes back as kPeerFailed instead of
+  /// throwing out of the caller's coroutine. The old value lands in
+  /// `*result` only on kOk.
+  sim::Task<core::OpStatus> add_status(core::UpcThread& th,
+                                       std::uint64_t delta,
+                                       std::uint64_t* result);
   /// Sum of every stripe. Not an atomic snapshot across stripes — exact
   /// only in quiescence (after a barrier), like any striped counter.
   sim::Task<std::uint64_t> read(core::UpcThread& th);
+  /// read() with the typed-status contract: sums the stripes it can
+  /// reach into `*sum` and returns the worst per-stripe status — a
+  /// partial sum plus kPeerFailed when any stripe's home has died.
+  sim::Task<core::OpStatus> read_status(core::UpcThread& th,
+                                        std::uint64_t* sum);
 
   /// The stripe this thread's add() targets.
   std::uint64_t stripe_of(const core::UpcThread& th) const;

@@ -1,0 +1,119 @@
+// HDR-style deterministic latency histogram (docs/WORKLOADS.md).
+//
+// Fixed log2 bucketing with 64 linear sub-buckets per power of two
+// (~1.6% worst-case relative error), recording simulated-time latencies
+// in integer nanoseconds. Everything is integer counts in a fixed bucket
+// layout, so two runs that record the same latencies produce the same
+// percentiles byte-for-byte, and merging per-thread histograms is an
+// associative, commutative bucket-wise sum — the properties the KV
+// workload's p50/p95/p99 report keys depend on.
+//
+// Values up to 2^kSubBucketBits are exact; above that a value maps to
+// the bucket whose lower bound is the value with all bits below the top
+// kSubBucketBits+1 cleared, and percentile() reports that lower bound —
+// a deterministic, conservative (never over-reporting) representative.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace xlupc::dis {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::uint32_t kSubBucketBits = 6;  ///< 64 sub-buckets
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+  /// Enough half-decades to span 1 ns .. ~584 years of simulated time.
+  static constexpr std::uint32_t kBucketGroups = 64 - kSubBucketBits;
+  static constexpr std::uint32_t kSlots = kBucketGroups * kSubBuckets;
+
+  /// Record one latency in simulated nanoseconds.
+  void record(sim::Duration ns) {
+    ++counts_[slot_of(ns)];
+    ++total_;
+    if (ns > max_ns_) max_ns_ = ns;
+    if (ns < min_ns_ || total_ == 1) min_ns_ = ns;
+  }
+  void record_us(double us) {
+    record(static_cast<sim::Duration>(us * 1e3));
+  }
+
+  /// p in [0, 1]: the latency at or below which a fraction p of the
+  /// recorded samples fall (lower bound of the containing bucket; exact
+  /// for values < kSubBuckets ns and for bucket-aligned values). 0 when
+  /// empty.
+  sim::Duration percentile(double p) const {
+    if (total_ == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    // Rank of the target sample, 1-based: ceil(p * total), at least 1.
+    const double exact = p * static_cast<double>(total_);
+    std::uint64_t rank = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(rank) < exact) ++rank;
+    if (rank == 0) rank = 1;
+    std::uint64_t seen = 0;
+    for (std::uint32_t s = 0; s < kSlots; ++s) {
+      seen += counts_[s];
+      if (seen >= rank) return value_of(s);
+    }
+    return max_ns_;
+  }
+  double percentile_us(double p) const { return sim::to_us(percentile(p)); }
+
+  /// Bucket-wise sum — associative and commutative, so per-thread
+  /// histograms can be folded in any grouping with identical results.
+  void merge(const LatencyHistogram& other) {
+    for (std::uint32_t s = 0; s < kSlots; ++s) counts_[s] += other.counts_[s];
+    total_ += other.total_;
+    if (other.total_ > 0) {
+      if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+      if (total_ == other.total_ || other.min_ns_ < min_ns_) {
+        min_ns_ = other.min_ns_;
+      }
+    }
+  }
+
+  std::uint64_t count() const noexcept { return total_; }
+  sim::Duration max() const noexcept { return max_ns_; }
+  sim::Duration min() const noexcept { return total_ ? min_ns_ : 0; }
+  double max_us() const noexcept { return sim::to_us(max_ns_); }
+
+  bool operator==(const LatencyHistogram& other) const {
+    return counts_ == other.counts_ && total_ == other.total_ &&
+           max_ns_ == other.max_ns_ && min_ns_ == other.min_ns_;
+  }
+
+ private:
+  /// Slot layout: group 0 covers [0, kSubBuckets) with unit-width
+  /// sub-buckets (exact); group g >= 1 covers
+  /// [kSubBuckets << (g-1), kSubBuckets << g) with sub-buckets of width
+  /// 2^(g-1).
+  static std::uint32_t slot_of(sim::Duration v) {
+    if (v < kSubBuckets) return static_cast<std::uint32_t>(v);
+    // Highest set bit; v >= kSubBuckets so msb >= kSubBucketBits.
+    std::uint32_t msb = 63;
+    while ((v & (sim::Duration{1} << msb)) == 0) --msb;
+    const std::uint32_t group = msb - kSubBucketBits + 1;
+    const std::uint32_t sub = static_cast<std::uint32_t>(
+        (v >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+    const std::uint32_t slot = group * kSubBuckets + sub;
+    return slot < kSlots ? slot : kSlots - 1;
+  }
+
+  /// Lower bound of slot `s` (inverse of slot_of on bucket boundaries).
+  static sim::Duration value_of(std::uint32_t s) {
+    const std::uint32_t group = s / kSubBuckets;
+    const std::uint32_t sub = s % kSubBuckets;
+    if (group == 0) return sub;
+    return (sim::Duration{kSubBuckets} + sub) << (group - 1);
+  }
+
+  std::array<std::uint64_t, kSlots> counts_{};
+  std::uint64_t total_ = 0;
+  sim::Duration max_ns_ = 0;
+  sim::Duration min_ns_ = 0;
+};
+
+}  // namespace xlupc::dis

@@ -37,4 +37,28 @@ sim::Task<void> TicketLock::release(core::UpcThread& th) {
   co_await th.fetch_add(words_, kNowServing, 1);
 }
 
+sim::Task<core::OpStatus> TicketLock::acquire_status(core::UpcThread& th) {
+  std::uint64_t ticket = 0;
+  core::OpStatus st =
+      co_await th.fetch_add_status(words_, kNextTicket, 1, &ticket);
+  if (st != core::OpStatus::kOk) co_return st;
+  wait_rounds_ = 0;
+  for (;;) {
+    std::uint64_t serving = 0;
+    st = co_await th.read_status<std::uint64_t>(words_, kNowServing, &serving);
+    // A home that dies mid-spin surfaces here (kPeerFailed once the
+    // detector has declared it, kTimeout while retransmissions are still
+    // burning); the ticket is forfeit but the caller is never wedged.
+    if (st != core::OpStatus::kOk) co_return st;
+    if (serving == ticket) co_return core::OpStatus::kOk;
+    ++wait_rounds_;
+    co_await th.compute(backoff_);
+  }
+}
+
+sim::Task<core::OpStatus> TicketLock::release_status(core::UpcThread& th) {
+  std::uint64_t old = 0;
+  co_return co_await th.fetch_add_status(words_, kNowServing, 1, &old);
+}
+
 }  // namespace xlupc::dis

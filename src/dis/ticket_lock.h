@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "core/access_path.h"
 #include "core/api.h"
 #include "sim/task.h"
 #include "sim/time.h"
@@ -39,6 +40,21 @@ class TicketLock {
   sim::Task<bool> try_acquire(core::UpcThread& th);
   /// FAA now_serving forward, handing the lock to the next ticket.
   sim::Task<void> release(core::UpcThread& th);
+
+  // --- typed-status surface (docs/FAULTS.md) ---
+  // acquire() wedges a serving client when the lock's home node
+  // crash-stops: the ticket FAA (or a now_serving poll) throws
+  // net::PeerDeadError out of the client coroutine, deadlocking every
+  // other thread still in a barrier — or, before the failure detector
+  // fires, burns the whole retransmission budget per poll. These
+  // variants surface core::OpStatus::kPeerFailed / kTimeout to the
+  // caller instead, so an open-loop generator can count the error and
+  // keep serving other shards (the dis::KvStore contract).
+  /// acquire() returning the typed status; kOk means the lock is held.
+  sim::Task<core::OpStatus> acquire_status(core::UpcThread& th);
+  /// release() returning the typed status (a failed release against a
+  /// dead home is reported, not thrown).
+  sim::Task<core::OpStatus> release_status(core::UpcThread& th);
 
   /// Tickets the polling loop of the last acquire() waited behind.
   std::uint64_t last_wait_rounds() const noexcept { return wait_rounds_; }

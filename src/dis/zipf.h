@@ -1,0 +1,83 @@
+// Seeded Zipfian key generator for the KV serving workload
+// (docs/WORKLOADS.md).
+//
+// Ranks are drawn from the classic Zipf(s) distribution over a finite
+// keyspace of N ranks: P(rank = r) = (r+1)^-s / H_{N,s} with the
+// generalized harmonic number H_{N,s} = sum_{k=1..N} k^-s. Rank 0 is the
+// hottest key. skew = 0 degenerates to the uniform distribution; the
+// YCSB-style default is 0.99; serving studies use up to ~1.3 for
+// hot-shard stress.
+//
+// Sampling is inversion on a precomputed CDF (binary search), driven by
+// a private sim::Rng stream — same seed, same key sequence, bit-for-bit,
+// on every platform. The CDF costs O(N) doubles once per generator,
+// which is fine for the simulated keyspaces (thousands of keys), and
+// keeps the draw itself allocation-free.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace xlupc::dis {
+
+class ZipfGenerator {
+ public:
+  /// Distribution over ranks [0, n) with exponent `skew` >= 0, sampled
+  /// from a stream seeded with `seed`.
+  ZipfGenerator(std::uint64_t n, double skew, std::uint64_t seed)
+      : n_(n), skew_(skew), rng_(seed) {
+    if (n == 0) throw std::invalid_argument("ZipfGenerator: empty keyspace");
+    if (skew < 0.0) {
+      throw std::invalid_argument("ZipfGenerator: negative skew");
+    }
+    cdf_.reserve(n);
+    double h = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      h += std::pow(static_cast<double>(k), -skew);
+      cdf_.push_back(h);
+    }
+    harmonic_ = h;
+    for (double& c : cdf_) c /= harmonic_;
+    cdf_.back() = 1.0;  // guard against rounding at the tail
+  }
+
+  /// Draw the next rank in [0, n): inversion of the CDF at a uniform
+  /// deviate. Rank 0 is the most popular key.
+  std::uint64_t next() {
+    const double u = rng_.uniform();
+    // First index whose CDF value exceeds u.
+    std::uint64_t lo = 0;
+    std::uint64_t hi = n_ - 1;
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Analytic probability mass of `rank` (for rank-frequency tests).
+  double probability(std::uint64_t rank) const {
+    if (rank >= n_) return 0.0;
+    return std::pow(static_cast<double>(rank + 1), -skew_) / harmonic_;
+  }
+
+  std::uint64_t keyspace() const noexcept { return n_; }
+  double skew() const noexcept { return skew_; }
+
+ private:
+  std::uint64_t n_;
+  double skew_;
+  double harmonic_ = 1.0;
+  std::vector<double> cdf_;
+  sim::Rng rng_;
+};
+
+}  // namespace xlupc::dis

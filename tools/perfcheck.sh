@@ -40,7 +40,8 @@ fi
 
 fresh=$(mktemp)
 fresh_amo=$(mktemp)
-trap 'rm -f "$fresh" "$fresh_amo"' EXIT
+fresh_kv=$(mktemp)
+trap 'rm -f "$fresh" "$fresh_amo" "$fresh_kv"' EXIT
 
 # Remote-atomics golden (docs/COMM_ENGINE.md verb table): the committed
 # BENCH_atomics_sweep.json must replay byte-for-byte. The sweep is pure
@@ -58,6 +59,22 @@ if ! cmp -s "$committed_amo" "$fresh_amo"; then
   exit 1
 fi
 echo "perfcheck: atomics_sweep matches the committed golden"
+
+# KV serving golden (docs/WORKLOADS.md): same contract — the committed
+# BENCH_kvstore_sweep.json must replay byte-for-byte, pinning the
+# RDMA-vs-AM crossover tables and the kv.* report keys.
+committed_kv="$repo_root/BENCH_kvstore_sweep.json"
+[ -f "$committed_kv" ] || {
+  echo "perfcheck: missing $committed_kv" >&2
+  exit 1
+}
+"$build"/bench/kvstore_sweep --seed 1 --json "$fresh_kv" > /dev/null
+if ! cmp -s "$committed_kv" "$fresh_kv"; then
+  echo "perfcheck: kvstore_sweep drifted from the committed golden:" >&2
+  diff "$committed_kv" "$fresh_kv" >&2 || true
+  exit 1
+fi
+echo "perfcheck: kvstore_sweep matches the committed golden"
 
 "$build"/bench/simspeed --mode compare --scale-probe --json "$fresh"
 
