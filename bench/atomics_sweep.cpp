@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "benchsupport/machines.h"
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
@@ -113,6 +114,9 @@ int main(int argc, char** argv) {
       machine = argv[++i];
     }
   }
+  // Unknown names print the full machine registry and exit(2)
+  // instead of throwing out of main (benchsupport/machines.h).
+  if (!machine.empty()) (void)bench::resolve_machine(machine);
   const std::vector<std::string> machines =
       machine.empty() ? std::vector<std::string>{"gm", "lapi", "ib"}
                       : std::vector<std::string>{machine};

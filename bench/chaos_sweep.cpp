@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "benchsupport/machines.h"
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
@@ -119,6 +120,9 @@ int main(int argc, char** argv) {
       machine = argv[++i];
     }
   }
+  // Unknown names print the full machine registry and exit(2)
+  // instead of throwing out of main (benchsupport/machines.h).
+  if (!machine.empty()) (void)bench::resolve_machine(machine);
   const auto platform =
       machine.empty() ? net::make_machine("gm") : net::make_machine(machine);
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "benchsupport/machines.h"
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
@@ -148,6 +149,9 @@ int main(int argc, char** argv) {
       machine = argv[++i];
     }
   }
+  // Unknown names print the full machine registry and exit(2)
+  // instead of throwing out of main (benchsupport/machines.h).
+  if (!machine.empty()) (void)bench::resolve_machine(machine);
   const bool single = !machine.empty();
   // With --machine, every sweep (including the GM-default threshold and
   // stressmark tables) runs on the named model instead.

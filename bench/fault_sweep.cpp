@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "benchsupport/machines.h"
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
@@ -94,6 +95,9 @@ int main(int argc, char** argv) {
       machine = argv[++i];
     }
   }
+  // Unknown names print the full machine registry and exit(2)
+  // instead of throwing out of main (benchsupport/machines.h).
+  if (!machine.empty()) (void)bench::resolve_machine(machine);
   const auto platform =
       machine.empty() ? net::make_machine("gm") : net::make_machine(machine);
 

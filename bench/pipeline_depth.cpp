@@ -18,6 +18,7 @@
 #include <deque>
 #include <string>
 
+#include "benchsupport/machines.h"
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
@@ -110,6 +111,9 @@ int main(int argc, char** argv) {
       machine = argv[++i];
     }
   }
+  // Unknown names print the full machine registry and exit(2)
+  // instead of throwing out of main (benchsupport/machines.h).
+  if (!machine.empty()) (void)bench::resolve_machine(machine);
 
   if (!machine.empty()) {
     // Single-machine sweep over the named calibrated model.

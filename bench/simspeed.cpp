@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "benchsupport/machines.h"
 #include "benchsupport/report.h"
 #include "benchsupport/table.h"
 #include "core/runtime.h"
@@ -299,6 +300,9 @@ Options parse_options(int argc, char** argv) {
     }
     // Unknown arguments are ignored, like every bench binary.
   }
+  // Unknown names print the full machine registry and exit(2) instead of
+  // throwing out of main (benchsupport/machines.h).
+  (void)bench::resolve_machine(opt.machine);
   return opt;
 }
 

@@ -1,0 +1,30 @@
+#include "benchsupport/machines.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace xlupc::bench {
+
+void print_machine_registry(std::FILE* out) {
+  std::fprintf(out, "known machine models (--machine NAME):\n");
+  for (const net::MachineModel& m : net::machine_models()) {
+    std::fprintf(out, "  %-6.*s %s\n", static_cast<int>(m.name.size()),
+                 m.name.data(), std::string(m.description).c_str());
+    if (!m.aliases.empty()) {
+      std::fprintf(out, "         aliases: %s\n",
+                   std::string(m.aliases).c_str());
+    }
+  }
+}
+
+net::PlatformParams resolve_machine(const std::string& name) {
+  try {
+    return net::make_machine(name);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "unknown machine '%s'\n", name.c_str());
+    print_machine_registry(stderr);
+    std::exit(2);
+  }
+}
+
+}  // namespace xlupc::bench

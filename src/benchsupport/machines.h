@@ -1,0 +1,27 @@
+// Shared --machine flag handling for the bench binaries.
+//
+// Every sweep that takes `--machine NAME` used to call
+// net::make_machine(name) directly, so a typo surfaced as an uncaught
+// std::invalid_argument and a terminate() backtrace. resolve_machine()
+// gives them one shared, friendly error path: on an unknown name it
+// prints the full net::machine_models registry — canonical names,
+// aliases and one-line descriptions — to stderr and exits with status 2,
+// the conventional usage-error code.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "net/machine_registry.h"
+#include "net/params.h"
+
+namespace xlupc::bench {
+
+/// Print the machine-model registry (names, aliases, descriptions).
+void print_machine_registry(std::FILE* out);
+
+/// net::make_machine with the bench error policy: unknown names print
+/// the registry and exit(2) instead of throwing out of main().
+net::PlatformParams resolve_machine(const std::string& name);
+
+}  // namespace xlupc::bench

@@ -7,6 +7,7 @@
 #include "common/types.h"
 #include "core/layout.h"
 #include "mem/pinned_table.h"
+#include "net/fabric.h"
 #include "net/params.h"
 #include "sim/fault_plan.h"
 #include "svd/handle.h"
@@ -79,6 +80,11 @@ struct RuntimeConfig {
   sim::FaultParams faults;
   /// Small-message coalescing knobs (docs/COALESCING.md); default off.
   CoalesceConfig coalesce;
+  /// Congestion-aware fabric knobs (docs/FABRIC.md). Default —
+  /// infinite switch buffers — keeps the contention-free wire model and
+  /// byte-identical runs; a nonzero port_credits turns on finite
+  /// buffers, credit flow control and the routing policy.
+  net::FabricParams fabric;
 
   std::uint32_t threads() const noexcept { return nodes * threads_per_node; }
 };

@@ -191,6 +191,20 @@ RunReport Runtime::metrics() {
     reg.set("fault.breaker.fast_fails", counters_.breaker_fast_fails);
   }
 
+  // --- congestion-aware fabric (docs/FABRIC.md) ---
+  // Gated on the fabric being enabled (finite port_credits), so every
+  // infinite-buffer report stays byte-identical to pre-fabric builds.
+  if (machine_.fabric().enabled()) {
+    const net::FabricStats& fs = machine_.fabric().stats();
+    reg.set("fabric.msgs", fs.msgs);
+    reg.set("fabric.hops", fs.hops);
+    reg.set("fabric.credit_waits", fs.credit_waits);
+    reg.set("fabric.credit_wait_ns", fs.credit_wait_ns);
+    reg.set("fabric.adaptive_diverts", fs.adaptive_diverts);
+    reg.set("fabric.failover_transits", fs.failover_transits);
+    reg.set("fabric.ports", machine_.fabric().port_count());
+  }
+
   // --- simulation engine ---
   reg.set("sim.events", sim_.events_executed() - events_epoch_);
 
@@ -222,6 +236,12 @@ RunReport Runtime::metrics() {
   reg.set_gauge("util.nic_pct", mean_utilization_pct(machine_, [](auto& n) {
                   return name_has(n, ".nic_");
                 }));
+  if (machine_.fabric().enabled()) {
+    reg.set_gauge("util.fabric_pct",
+                  mean_utilization_pct(machine_, [](auto& n) {
+                    return name_has(n, "fab.") && name_has(n, ".wire");
+                  }));
+  }
 
   // --- snapshot ---
   report.platform = cfg_.platform.name;
@@ -257,6 +277,7 @@ void Runtime::reset_metrics() {
     node(n).pinned->reset_counters();
   }
   machine_.reset_resource_usage();
+  machine_.fabric().reset_stats();
   sim_.metrics().reset();
   tracer_.clear();
   metrics_epoch_ = sim_.now();

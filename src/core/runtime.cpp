@@ -41,7 +41,7 @@ Runtime::Runtime(RuntimeConfig cfg)
     : cfg_(std::move(cfg)),
       machine_(sim_, cfg_.platform,
                net::MachineConfig{cfg_.nodes, cfg_.threads_per_node,
-                                  cfg_.faults}) {
+                                  cfg_.faults, cfg_.fabric}) {
   if (cfg_.nodes == 0 || cfg_.threads_per_node == 0) {
     throw std::invalid_argument("Runtime: nodes/threads must be positive");
   }

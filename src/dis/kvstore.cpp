@@ -295,11 +295,30 @@ KvWorkloadResult run_kv_workload(core::RuntimeConfig cfg,
     co_await th.barrier();
     kv.reset_stats();
 
+    // N->1 incast: restrict every client's draw to the keys homed on the
+    // target thread's shard, so all traffic converges there. The hot-key
+    // list is a pure function of the (deterministic) hash and layout, so
+    // every client builds the same list without communicating.
+    std::vector<std::uint64_t> hot;
+    if (p.incast_home >= 0) {
+      for (std::uint64_t k = 1; k <= p.keyspace; ++k) {
+        if (kv.home_thread(k, threads) ==
+            static_cast<std::uint32_t>(p.incast_home)) {
+          hot.push_back(k);
+        }
+      }
+      if (hot.empty()) {
+        throw std::invalid_argument(
+            "run_kv_workload: no keys home on the incast target (grow the "
+            "keyspace)");
+      }
+    }
+
     // Open-loop measured phase: op i of this client is scheduled at
     // start + i * interarrival; latency is measured from that scheduled
     // instant, so falling behind the offered rate shows up as queueing
     // delay in the tail (no coordinated omission).
-    ZipfGenerator zipf(p.keyspace, p.zipf_skew,
+    ZipfGenerator zipf(hot.empty() ? p.keyspace : hot.size(), p.zipf_skew,
                        seed + 0x9e3779b97f4a7c15ull * (th.id() + 1));
     sim::Rng mix(seed ^ (0xda3e39cb94b95bdbull * (th.id() + 1)));
     if (th.id() == 0) t0 = th.now();
@@ -312,7 +331,8 @@ KvWorkloadResult run_kv_workload(core::RuntimeConfig cfg,
       }
       const sim::Time scheduled = start + i * p.interarrival;
       if (th.now() < scheduled) co_await th.compute(scheduled - th.now());
-      const std::uint64_t key = zipf.next() + 1;
+      const std::uint64_t draw = zipf.next();
+      const std::uint64_t key = hot.empty() ? draw + 1 : hot[draw];
       if (mix.chance(p.put_fraction)) {
         for (std::uint32_t w = 0; w < kv.value_words(); ++w) {
           val[w] = key * 0x10001 + i + w;

@@ -126,6 +126,17 @@ class KvStore {
     return mix64(key) & mask_;
   }
 
+  /// The thread whose shard serves the key's first-probe bucket (the
+  /// block-cyclic home: bucket b lives on thread (b / block_buckets) %
+  /// THREADS). Collision probing can land a key one block over, but the
+  /// first probe is where its traffic converges — which is what the
+  /// N->1 incast workload selects keys by.
+  std::uint32_t home_thread(std::uint64_t key,
+                            std::uint32_t threads) const noexcept {
+    return static_cast<std::uint32_t>(
+        (bucket_of(key) / cfg_.block_buckets) % threads);
+  }
+
  private:
   static constexpr std::uint64_t kEmpty = 0;
 
@@ -183,6 +194,12 @@ struct KvWorkloadParams {
   /// rate is part of the latency, as in any open-loop serving study.
   sim::Duration interarrival = sim::us(40.0);
   KvAccessPath access_path = KvAccessPath::kRdma;
+  /// N->1 hot-shard incast (docs/FABRIC.md): when >= 0, every client
+  /// draws its keys only from those homed on this thread's shard, so the
+  /// whole cluster's traffic converges on one node — the fan-in scenario
+  /// bench/congestion_sweep measures against the finite-buffer fabric.
+  /// -1 (default) keeps the whole-keyspace Zipfian stream.
+  std::int32_t incast_home = -1;
 };
 
 struct KvWorkloadResult {

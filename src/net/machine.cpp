@@ -9,7 +9,8 @@ Machine::Machine(sim::Simulator& sim, PlatformParams params,
     : sim_(&sim),
       params_(std::move(params)),
       config_(std::move(config)),
-      faults_(config_.faults) {
+      faults_(config_.faults),
+      fabric_(sim, params_, config_.fabric) {
   if (config_.nodes == 0 || config_.cores_per_node == 0) {
     throw std::invalid_argument("Machine: nodes and cores must be positive");
   }
@@ -43,6 +44,10 @@ void Machine::for_each_resource(
     fn(*node.tx);
     fn(*node.dma);
   }
+  // Fabric ports trail the node resources; none exist (and none are ever
+  // created) when the fabric is disabled, so default-config reports are
+  // untouched.
+  fabric_.for_each_port(fn);
 }
 
 void Machine::reset_resource_usage() {
@@ -52,6 +57,7 @@ void Machine::reset_resource_usage() {
     node.tx->reset_usage();
     node.dma->reset_usage();
   }
+  fabric_.reset_port_usage();
 }
 
 sim::Resource& Machine::core(NodeId node, std::uint32_t core) {

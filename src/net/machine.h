@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "net/fabric.h"
 #include "net/params.h"
 #include "net/topology.h"
 #include "sim/fault_plan.h"
@@ -27,6 +28,10 @@ struct MachineConfig {
   /// Deterministic fault-injection plan (docs/FAULTS.md). The default is
   /// the null plan: no faults, and zero overhead in the transports.
   sim::FaultParams faults;
+  /// Congestion-aware fabric knobs (docs/FABRIC.md). The default —
+  /// infinite buffers — disables the subsystem: wire delays stay
+  /// contention-free point-to-point, byte-identical to older builds.
+  FabricParams fabric;
 };
 
 class Machine {
@@ -62,6 +67,11 @@ class Machine {
   sim::FaultPlan& faults() noexcept { return faults_; }
   const sim::FaultPlan& faults() const noexcept { return faults_; }
 
+  /// The congestion-aware switch fabric (disabled — infinite buffers —
+  /// by default; docs/FABRIC.md).
+  Fabric& fabric() noexcept { return fabric_; }
+  const Fabric& fabric() const noexcept { return fabric_; }
+
   /// One-way wire latency between nodes.
   sim::Duration latency(NodeId a, NodeId b) const {
     return wire_latency(params_, a, b);
@@ -83,6 +93,7 @@ class Machine {
   PlatformParams params_;
   MachineConfig config_;
   sim::FaultPlan faults_;
+  Fabric fabric_;
   std::vector<Node> nodes_;
 };
 

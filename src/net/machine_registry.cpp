@@ -10,13 +10,29 @@ namespace xlupc::net {
 namespace {
 
 constexpr std::array<MachineModel, 3> kModels{{
-    {"gm", "MareNostrum: Myrinet/GM, 3-level crossbar, no comm/comp overlap",
+    {"gm", "myrinet, marenostrum",
+     "MareNostrum: Myrinet/GM, 3-level crossbar, no comm/comp overlap",
      &mare_nostrum_gm},
-    {"lapi", "Power5 cluster: LAPI over the IBM HPS, dedicated comm CPU",
+    {"lapi", "hps, power5",
+     "Power5 cluster: LAPI over the IBM HPS, dedicated comm CPU",
      &power5_lapi},
-    {"ib", "InfiniBand: verbs RC queue pairs, fat tree, NIC-offloaded RDMA",
+    {"ib", "infiniband, verbs",
+     "InfiniBand: verbs RC queue pairs, fat tree, NIC-offloaded RDMA",
      &infiniband_verbs},
 }};
+
+/// True when comma/space-separated `list` contains `key` as one entry.
+bool alias_match(std::string_view list, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    while (pos < list.size() && (list[pos] == ',' || list[pos] == ' ')) ++pos;
+    std::size_t end = pos;
+    while (end < list.size() && list[end] != ',' && list[end] != ' ') ++end;
+    if (end > pos && list.substr(pos, end - pos) == key) return true;
+    pos = end;
+  }
+  return false;
+}
 
 std::string lower(std::string_view s) {
   std::string out(s);
@@ -33,12 +49,10 @@ std::span<const MachineModel> machine_models() { return kModels; }
 PlatformParams make_machine(std::string_view name) {
   const std::string key = lower(name);
   for (const MachineModel& m : kModels) {
-    if (key == m.name) return m.make();
+    // Canonical name or one of the registered aliases — the full
+    // fabric/messaging-layer names people actually type.
+    if (key == m.name || alias_match(m.aliases, key)) return m.make();
   }
-  // Aliases: the full fabric/messaging-layer names people actually type.
-  if (key == "myrinet" || key == "marenostrum") return mare_nostrum_gm();
-  if (key == "hps" || key == "power5") return power5_lapi();
-  if (key == "infiniband" || key == "verbs") return infiniband_verbs();
   throw std::invalid_argument("unknown machine '" + std::string(name) +
                               "' (known: " + machine_names() + ")");
 }

@@ -20,6 +20,7 @@ namespace xlupc::net {
 /// One registered machine model.
 struct MachineModel {
   std::string_view name;         ///< canonical short name ("gm", "lapi", "ib")
+  std::string_view aliases;      ///< comma-separated accepted aliases
   std::string_view description;  ///< one-line summary for --help output
   PlatformParams (*make)();      ///< the calibrated preset
 };

@@ -62,6 +62,7 @@ Task<void> ProtocolEngine::deliver_faulty(NodeId src, NodeId dst,
   LinkSeq& ls = link_seq_[link];
   const std::uint16_t seq = ls.next_seq++;
   const bool fabric = plan.fabric_enabled();
+  const bool congested = machine_.fabric().enabled();
 
   // The source NIC makes no progress while a stall window is open.
   const Duration stall = plan.stall_remaining(src, sim.now());
@@ -102,10 +103,18 @@ Task<void> ProtocolEngine::deliver_faulty(NodeId src, NodeId dst,
           // switches, so the flow detours around the dark link. Route
           // choice is a pure seeded hash (FaultPlan::failover_route);
           // the detour enters the upper layer one switch over and pays
-          // two extra hops.
-          (void)plan.failover_route(src, dst, alts);
+          // two extra hops. Under the congestion-aware fabric the detour
+          // traverses that alternate's real switch buffers instead of a
+          // fixed latency (the primary's credits simply stop being
+          // consumed while the link is dark — they drain on their own).
+          const std::uint32_t alt = plan.failover_route(src, dst, alts);
           ++stats_.failover_routes;
-          co_await sim.delay(failover_latency(machine_.params(), src, dst));
+          if (congested) {
+            co_await machine_.fabric().transit_failover(src, dst, retx_bytes,
+                                                        alt);
+          } else {
+            co_await sim.delay(failover_latency(machine_.params(), src, dst));
+          }
           if (seq_at_or_after(seq, ls.delivered_hwm)) {
             ls.delivered_hwm = seq + 1;
           }
@@ -120,7 +129,11 @@ Task<void> ProtocolEngine::deliver_faulty(NodeId src, NodeId dst,
     if (!lost_to_fabric) {
       switch (plan.transmit(src, dst)) {
         case sim::FaultPlan::Verdict::kDeliver: {
-          co_await sim.delay(lat);
+          if (congested) {
+            co_await machine_.fabric().transit(src, dst, retx_bytes);
+          } else {
+            co_await sim.delay(lat);
+          }
           if (seq_at_or_after(seq, ls.delivered_hwm)) {
             ls.delivered_hwm = seq + 1;
           }

@@ -101,7 +101,15 @@ class ProtocolEngine {
       }
     };
     if (!machine_.faults().enabled()) {
-      return Awaiter{&machine_.simulator(), machine_.latency(src, dst), {}};
+      if (!machine_.fabric().enabled()) {
+        return Awaiter{&machine_.simulator(), machine_.latency(src, dst), {}};
+      }
+      // Congestion-aware fabric, no fault plan: the single point-to-point
+      // delay becomes a hop-by-hop transit through finite switch buffers
+      // (docs/FABRIC.md). `retx_bytes` is the message's wire size at
+      // every call site, so it doubles as the per-hop serialization size.
+      return Awaiter{&machine_.simulator(), 0,
+                     machine_.fabric().transit(src, dst, retx_bytes)};
     }
     return Awaiter{&machine_.simulator(), 0,
                    deliver_faulty(src, dst, retx_nic, retx_cost, retx_bytes)};

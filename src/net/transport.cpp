@@ -500,7 +500,7 @@ Task<RdmaPutResult> Transport::rdma_put(Initiator from, NodeId dst, Addr raddr,
     // NAK discovered after a descriptor roundtrip.
     ++stats_.rdma_naks;
     co_await machine_.core(from.node, from.core).use(p.rdma_put_setup);
-    if (!machine_.faults().enabled()) {
+    if (!machine_.faults().enabled() && !machine_.fabric().enabled()) {
       co_await sim.delay(machine_.latency(from.node, dst) +
                          machine_.latency(dst, from.node));
     } else {

@@ -149,7 +149,7 @@ class EchoTarget : public AmTarget {
 struct Rig {
   explicit Rig(PlatformParams p, FaultParams fp = {},
                std::size_t bytes = 1 << 20)
-      : target(bytes), machine(sim, std::move(p), {2, 1, std::move(fp)}) {
+      : target(bytes), machine(sim, std::move(p), {2, 1, std::move(fp), {}}) {
     transport = make_transport(machine, target);
   }
   sim::Simulator sim;

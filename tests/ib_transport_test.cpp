@@ -151,7 +151,7 @@ class CountingTarget : public AmTarget {
 
 struct Rig {
   explicit Rig(PlatformParams p = infiniband_verbs(), FaultParams fp = {})
-      : target(1 << 20), machine(sim, std::move(p), {2, 2, std::move(fp)}) {
+      : target(1 << 20), machine(sim, std::move(p), {2, 2, std::move(fp), {}}) {
     transport = make_transport(machine, target);
     ib = dynamic_cast<IbTransport*>(transport.get());
   }

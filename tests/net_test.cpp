@@ -42,6 +42,43 @@ TEST(Topology, FlatSwitchIsOneHop) {
   EXPECT_EQ(hops_between(TopologyKind::kFlatSwitch, 5, 5), 0u);
 }
 
+TEST(Topology, FatTreeBoundaryHops) {
+  using enum TopologyKind;
+  // Same node, same leaf, leaf boundary, pod interior, pod boundary.
+  EXPECT_EQ(hops_between(kFatTree, 100, 100), 0u);
+  EXPECT_EQ(hops_between(kFatTree, 0, kFatTreeLeaf - 1), 1u);
+  EXPECT_EQ(hops_between(kFatTree, kFatTreeLeaf - 1, kFatTreeLeaf), 3u);
+  EXPECT_EQ(hops_between(kFatTree, 0, kFatTreePod - 1), 3u);
+  EXPECT_EQ(hops_between(kFatTree, kFatTreePod - 1, kFatTreePod), 5u);
+  EXPECT_EQ(hops_between(kFatTree, 0, 3 * kFatTreePod + 7), 5u);
+}
+
+TEST(Topology, RedundantPathsOnlyOnMultiPathFatTreePairs) {
+  using enum TopologyKind;
+  // Single-path topologies and sub-3-hop fat-tree pairs offer none.
+  EXPECT_EQ(redundant_paths(kFlatSwitch, 0, 511), 0u);
+  EXPECT_EQ(redundant_paths(kMyrinetCrossbar, 0, 128), 0u);
+  EXPECT_EQ(redundant_paths(kFatTree, 9, 9), 0u);
+  EXPECT_EQ(redundant_paths(kFatTree, 0, kFatTreeLeaf - 1), 0u);
+  // Any >=3-hop fat-tree pair can pick among the pod's other spines.
+  EXPECT_EQ(redundant_paths(kFatTree, kFatTreeLeaf - 1, kFatTreeLeaf),
+            kFatTreeLeaf - 1);
+  EXPECT_EQ(redundant_paths(kFatTree, kFatTreePod - 1, kFatTreePod),
+            kFatTreeLeaf - 1);
+}
+
+TEST(Topology, FailoverLatencyAddsTwoHopDetour) {
+  // The rerouted path costs the normal wire latency plus two extra
+  // switch traversals, on every topology.
+  for (const PlatformParams& p :
+       {mare_nostrum_gm(), power5_lapi(), infiniband_verbs()}) {
+    EXPECT_EQ(failover_latency(p, 0, 1), wire_latency(p, 0, 1) +
+        2 * p.hop_latency) << p.name;
+    EXPECT_EQ(failover_latency(p, 0, 200), wire_latency(p, 0, 200) +
+        2 * p.hop_latency) << p.name;
+  }
+}
+
 TEST(Topology, LatencyGrowsWithHops) {
   const auto p = mare_nostrum_gm();
   const auto near = wire_latency(p, 0, 1);

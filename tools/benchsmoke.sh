@@ -25,7 +25,7 @@ seed=${2:-1}
 machine=${3:-}
 
 # Benches that accept --machine (keep in sync with bench/*.cpp).
-machine_benches="fault_sweep pipeline_depth coalesce_sweep overlap_sweep atomics_sweep kvstore_sweep"
+machine_benches="fault_sweep pipeline_depth coalesce_sweep overlap_sweep atomics_sweep kvstore_sweep congestion_sweep"
 
 if [ -n "${BENCHSMOKE_OUT:-}" ]; then
   outdir=$BENCHSMOKE_OUT

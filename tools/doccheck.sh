@@ -20,7 +20,7 @@ cd "$repo_root"
 docs="README.md DESIGN.md EXPERIMENTS.md docs/API.md docs/CALIBRATION.md \
       docs/SIMULATOR.md docs/OBSERVABILITY.md docs/FAULTS.md \
       docs/COMM_ENGINE.md docs/COALESCING.md docs/MACHINES.md \
-      docs/PERFORMANCE.md docs/WORKLOADS.md"
+      docs/PERFORMANCE.md docs/WORKLOADS.md docs/FABRIC.md"
 search_dirs="src bench tests examples"
 
 status=0

@@ -39,42 +39,12 @@ if ! command -v python3 >/dev/null 2>&1; then
 fi
 
 fresh=$(mktemp)
-fresh_amo=$(mktemp)
-fresh_kv=$(mktemp)
-trap 'rm -f "$fresh" "$fresh_amo" "$fresh_kv"' EXIT
+trap 'rm -f "$fresh"' EXIT
 
-# Remote-atomics golden (docs/COMM_ENGINE.md verb table): the committed
-# BENCH_atomics_sweep.json must replay byte-for-byte. The sweep is pure
-# simulation, so any diff means the FAA/CAS pipeline's behaviour changed
-# — regenerate the golden deliberately and review the diff.
-committed_amo="$repo_root/BENCH_atomics_sweep.json"
-[ -f "$committed_amo" ] || {
-  echo "perfcheck: missing $committed_amo" >&2
-  exit 1
-}
-"$build"/bench/atomics_sweep --seed 1 --json "$fresh_amo" > /dev/null
-if ! cmp -s "$committed_amo" "$fresh_amo"; then
-  echo "perfcheck: atomics_sweep drifted from the committed golden:" >&2
-  diff "$committed_amo" "$fresh_amo" >&2 || true
-  exit 1
-fi
-echo "perfcheck: atomics_sweep matches the committed golden"
-
-# KV serving golden (docs/WORKLOADS.md): same contract — the committed
-# BENCH_kvstore_sweep.json must replay byte-for-byte, pinning the
-# RDMA-vs-AM crossover tables and the kv.* report keys.
-committed_kv="$repo_root/BENCH_kvstore_sweep.json"
-[ -f "$committed_kv" ] || {
-  echo "perfcheck: missing $committed_kv" >&2
-  exit 1
-}
-"$build"/bench/kvstore_sweep --seed 1 --json "$fresh_kv" > /dev/null
-if ! cmp -s "$committed_kv" "$fresh_kv"; then
-  echo "perfcheck: kvstore_sweep drifted from the committed golden:" >&2
-  diff "$committed_kv" "$fresh_kv" >&2 || true
-  exit 1
-fi
-echo "perfcheck: kvstore_sweep matches the committed golden"
+# Behavioural goldens first (atomics, KV serving, congestion sweeps):
+# those byte-compares live in tools/goldencheck.sh so ctest can gate
+# them without paying for the simspeed scale probe.
+"$repo_root"/tools/goldencheck.sh "$build"
 
 "$build"/bench/simspeed --mode compare --scale-probe --json "$fresh"
 
